@@ -1,0 +1,26 @@
+"""Benchmarks for the Section VI extensions (colocated SSDs, energy)."""
+
+import pytest
+
+from repro.experiments import extensions
+
+
+@pytest.mark.paper
+def bench_colocated_ssd_sweep(once):
+    rows = once(extensions.run_colocated, node_counts=(1, 4, 9, 16), seed=1)
+    print()
+    print(extensions.render_colocated(rows))
+    # Linear scaling without the shared aggregate: 16-node colocated beats
+    # 16-node shared by a wide margin.
+    last = rows[-1]
+    assert last.colocated.gflops > 1.5 * last.shared.gflops
+
+
+@pytest.mark.paper
+def bench_energy_comparison(once):
+    cmp_ = once(extensions.run_energy, node_counts=(9, 36), seed=1)
+    print()
+    print(extensions.render_energy(cmp_))
+    # Colocation always beats the separated design on energy.
+    for sep, col in zip(cmp_.testbed, cmp_.colocated):
+        assert col.kwh < sep.kwh

@@ -1,0 +1,18 @@
+"""Fig. 5 benchmark: the back-and-forth plan emerging from the real
+threaded DOoC engine (load counts + correctness)."""
+
+import pytest
+
+from repro.experiments import fig5
+
+
+@pytest.mark.paper
+def bench_fig5_back_and_forth(once, tmp_path):
+    result = once(fig5.run, iterations=3, seed=3, scratch_dir=tmp_path)
+    print()
+    print(fig5.render(result))
+    assert result.correct
+    naive = result.engine_matrix_loads_naive_total          # 27
+    bnf = 3 * result.back_and_forth_loads_per_node          # 21
+    assert result.engine_matrix_loads_total < naive
+    assert abs(result.engine_matrix_loads_total - bnf) <= 3

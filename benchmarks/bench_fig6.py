@@ -1,0 +1,24 @@
+"""Fig. 6 benchmark: runtime relative to the 20 GB/s optimal-I/O bound."""
+
+import pytest
+
+from repro.experiments import fig6
+
+
+@pytest.mark.paper
+def bench_fig6(once):
+    points = once(fig6.run, seed=1)
+    print()
+    print(fig6.render(points))
+    by = {(p.policy, p.nodes): p for p in points}
+    # Shape: the interleaved policy sits closer to the optimum everywhere
+    # at >= 9 nodes, and both policies approach it as nodes grow (until
+    # the ceiling binds).
+    for nodes in (9, 16, 25, 36):
+        assert by[("interleaved", nodes)].relative_time < \
+            by[("simple", nodes)].relative_time
+    # 1 node is far above the bound (a single 1.45 GB/s client vs 20 GB/s).
+    assert by[("simple", 1)].relative_time > 10
+    # At 16+ nodes the interleaved policy is within ~2.1x of optimal I/O
+    # (the paper's best points sit around 1.3-1.6x).
+    assert by[("interleaved", 16)].relative_time < 2.1

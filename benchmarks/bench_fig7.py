@@ -1,0 +1,25 @@
+"""Fig. 7 benchmark: CPU-hour cost crossover, testbed vs Hopper."""
+
+import pytest
+
+from repro.experiments import fig7
+
+
+@pytest.mark.paper
+def bench_fig7(once):
+    result = once(fig7.run, seed=1)
+    print()
+    print(fig7.render(result))
+    # 9-node run vs test1128: comparable cost (1.68 vs 1.72 in the paper).
+    testbed_9 = dict((int(d / 1e6), c) for d, c in result.testbed_points)[150]
+    hopper_1128 = result.hopper_points[1][1]
+    assert testbed_9 == pytest.approx(hopper_1128, rel=0.35)
+    # 36-node run about 2x worse than test4560 (bandwidth-per-node bound).
+    testbed_36 = dict((int(d / 1e6), c) for d, c in result.testbed_points)[300]
+    hopper_4560 = result.hopper_points[2][1]
+    assert 1.3 < testbed_36 / hopper_4560 < 2.7
+    # The star: significantly cheaper than the comparable Hopper run
+    # (32% in the paper).
+    assert 0.15 < result.star_saving_vs_hopper < 0.55
+    assert result.star_cpu_hours == pytest.approx(
+        result.published_star_cpu_hours, rel=0.25)

@@ -1,0 +1,27 @@
+"""Table I benchmark: exact dimension counting + nnz estimation."""
+
+import pytest
+
+from repro.ci.cases import TABLE1_CASES
+from repro.experiments import table1
+
+
+@pytest.mark.paper
+def bench_table1_full(once):
+    rows = once(table1.run, nnz_samples=30, seed=0)
+    print()
+    print(table1.render(rows))
+    for row in rows:
+        assert row.dimension == pytest.approx(row.published_dimension,
+                                              rel=0.005)
+
+
+def bench_table1_dimension_counting_speed(benchmark):
+    """Microbenchmark: one exact M-scheme dimension (largest case)."""
+    case = TABLE1_CASES[-1]
+
+    def count():
+        return case.space().dimension()
+
+    d = benchmark.pedantic(count, rounds=3, iterations=1, warmup_rounds=0)
+    assert d == pytest.approx(case.published_dimension, rel=0.005)

@@ -1,0 +1,20 @@
+"""Table II benchmark: the MFDn-on-Hopper model vs published rows."""
+
+import pytest
+
+from repro.experiments import table2
+
+
+@pytest.mark.paper
+def bench_table2(once):
+    rows = once(table2.run)
+    print()
+    print(table2.render(rows))
+    # Shape assertions: communication fraction must grow monotonically and
+    # end dominating the iteration (34% -> 86% in the paper).
+    fracs = [r.comm_fraction for r in rows]
+    assert all(b > a for a, b in zip(fracs, fracs[1:]))
+    assert fracs[-1] > 0.75
+    for r in rows:
+        assert r.cpu_hours_per_iteration == pytest.approx(
+            r.published_cpu_hours, rel=0.25)

@@ -1,0 +1,25 @@
+"""Table III benchmark: the full simple-policy sweep on the simulated
+SSD testbed (1-36 nodes, 4 iterations each)."""
+
+import pytest
+
+from repro.experiments import table34
+
+
+@pytest.mark.paper
+def bench_table3_sweep(once):
+    rows = once(table34.run, "simple", seed=1)
+    print()
+    print(table34.render(rows, "simple"))
+    by_nodes = {r.measured.nodes: r for r in rows}
+    # Near-linear GFlop/s to 9 nodes...
+    assert by_nodes[9].measured.gflops == pytest.approx(
+        9 * by_nodes[1].measured.gflops, rel=0.30)
+    # ... then a plateau: 16 -> 36 nodes gains < 15%.
+    g16 = by_nodes[16].measured.gflops
+    g36 = by_nodes[36].measured.gflops
+    assert abs(g36 - g16) / g16 < 0.15
+    # Every row's wall time within 25% of the published one.
+    for nodes, row in by_nodes.items():
+        assert row.measured.time_s == pytest.approx(
+            row.published["time_s"], rel=0.25), f"{nodes} nodes"

@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Heavy simulations run once per benchmark (pedantic mode); the printed
+tables are the regenerated paper artefacts, emitted with ``-s`` or
+captured into ``bench_output.txt``.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks live outside testpaths; make intent explicit when invoked.
+    config.addinivalue_line("markers", "paper: regenerates a paper artefact")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the target exactly once under the benchmark clock."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Out-of-core solution of a Markov-chain ranking system.
+
+The paper's lineage includes "distributed disk-based solution techniques
+for large Markov models ... using Jacobi or Conjugate Gradient algorithms"
+(its reference [6]).  This example solves a PageRank-style linear system
+
+    (I - alpha * P^T) x = (1 - alpha)/n * 1
+
+for a random sparse row-stochastic transition matrix P, with the matrix
+stored out-of-core as DOoC sub-matrix files and every Jacobi sweep's SpMV
+running through the middleware.  Validated against a direct sparse solve.
+
+    python examples/markov_chain.py [--n 900] [--alpha 0.85]
+"""
+
+import argparse
+import tempfile
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg
+
+from repro.solvers import conjugate_gradient_solve, jacobi_solve
+from repro.spmv.csr import CSRBlock
+from repro.spmv.generator import choose_gap_parameter, gap_uniform_csr
+from repro.spmv.ooc_operator import OutOfCoreMatrix
+from repro.spmv.partition import GridPartition
+
+
+def random_transition_matrix(n: int, rng: np.random.Generator) -> sp.csr_matrix:
+    """A random sparse row-stochastic matrix (every row sums to 1)."""
+    raw = gap_uniform_csr(n, n, choose_gap_parameter(n, 12.0), rng).to_scipy()
+    raw.data = np.abs(raw.data) + 0.05
+    row_sums = np.asarray(raw.sum(axis=1)).ravel()
+    # Dangling rows get a self-loop.
+    for i in np.nonzero(row_sums == 0)[0]:
+        raw[i, i] = 1.0
+    row_sums = np.asarray(raw.sum(axis=1)).ravel()
+    return sp.diags(1.0 / row_sums) @ raw
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=900)
+    parser.add_argument("--alpha", type=float, default=0.85)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    p = random_transition_matrix(args.n, rng)
+    system = sp.identity(args.n) - args.alpha * p.T
+    b = np.full(args.n, (1 - args.alpha) / args.n)
+    reference = scipy.sparse.linalg.spsolve(sp.csc_matrix(system), b)
+
+    k = 3
+    blocks = GridPartition(args.n, k).split_matrix(
+        CSRBlock.from_scipy(sp.csr_matrix(system)))
+
+    with tempfile.TemporaryDirectory() as scratch:
+        operator = OutOfCoreMatrix(blocks, n_nodes=k, scratch_dir=scratch)
+        result = jacobi_solve(operator, b, tol=1e-10, max_iterations=300)
+        print(f"Jacobi: converged={result.converged} in "
+              f"{result.iterations} out-of-core sweeps "
+              f"(residual {result.residual_norm:.2e})")
+        np.testing.assert_allclose(result.x, reference, rtol=1e-6, atol=1e-12)
+
+    # The same system through CG on the normal equations is overkill, but
+    # a symmetric Markov-like system solves directly; demonstrate CG on
+    # the symmetrized diagonally-shifted variant.
+    sym = sp.csr_matrix((system + system.T) * 0.5 + 0.5 * sp.identity(args.n))
+    blocks_sym = GridPartition(args.n, k).split_matrix(CSRBlock.from_scipy(sym))
+    ref_sym = scipy.sparse.linalg.spsolve(sp.csc_matrix(sym), b)
+    with tempfile.TemporaryDirectory() as scratch:
+        operator = OutOfCoreMatrix(blocks_sym, n_nodes=k, scratch_dir=scratch)
+        result = conjugate_gradient_solve(operator, b, tol=1e-12)
+        print(f"CG:     converged={result.converged} in "
+              f"{result.iterations} out-of-core iterations "
+              f"(residual {result.residual_norm:.2e})")
+        np.testing.assert_allclose(result.x, ref_sym, rtol=1e-6, atol=1e-12)
+
+    ranking = np.argsort(result.x)[::-1][:5]
+    print("top-5 states by symmetrized score:", ranking.tolist())
+    print("all solutions verified against scipy.sparse.linalg.spsolve")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation on the simulated SSD testbed.
+
+Runs the Table III/IV node sweeps (both scheduling policies) on the
+discrete-event model of the Carver SSD testbed, then prints Fig. 6
+(runtime vs the optimal-I/O bound) and Fig. 7 (CPU-hour cost vs the
+MFDn-on-Hopper model), including the 9-node oversubscribed "star" run.
+
+The full sweep simulates 36-node runs and takes a few minutes:
+
+    python examples/testbed_sweep.py            # quick: 1, 4, 9 nodes
+    python examples/testbed_sweep.py --full     # the paper's 1..36 sweep
+"""
+
+import argparse
+
+from repro.experiments import fig6, fig7, table34
+from repro.testbed import simulated_gantt
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run the full 1..36-node sweep")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    node_counts = (1, 4, 9, 16, 25, 36) if args.full else (1, 4, 9)
+
+    for policy in ("simple", "interleaved"):
+        rows = table34.run(policy, node_counts=node_counts, seed=args.seed)
+        print(table34.render(rows, policy))
+        print()
+
+    points = fig6.run(node_counts=node_counts, seed=args.seed)
+    print(fig6.render(points))
+    print()
+
+    result = fig7.run(node_counts=node_counts, seed=args.seed)
+    print(fig7.render(result))
+    print()
+
+    print("Activity timeline of one simulated iteration (4 nodes):")
+    for policy in ("simple", "interleaved"):
+        print(simulated_gantt(4, policy, seed=args.seed))
+        print()
+
+
+if __name__ == "__main__":
+    main()

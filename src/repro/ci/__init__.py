@@ -1,0 +1,35 @@
+"""Configuration-interaction model of the nuclear structure problem.
+
+Section II of the paper motivates the out-of-core system with *ab initio*
+no-core CI calculations: the Hamiltonian is expanded in an M-scheme basis
+of Slater determinants of harmonic-oscillator (HO) single-particle states,
+truncated by the total number of HO quanta above the minimal configuration
+(``Nmax``) and the total magnetic projection (``Mj``).
+
+* :mod:`repro.ci.ho_basis` — HO single-particle states (n, l, j, m);
+* :mod:`repro.ci.mscheme` — exact basis-dimension counting by dynamic
+  programming over single-particle states (regenerates Table I's D), plus
+  uniform sampling of basis determinants from the DP tables;
+* :mod:`repro.ci.nnz` — a stochastic estimator of the Hamiltonian's
+  nonzero count under a 2-body interaction (at most two single-particle
+  substitutions between connected determinants);
+* :mod:`repro.ci.cases` — the ¹⁰B parameter sets of Table I with the
+  published values for comparison.
+"""
+
+from repro.ci.ho_basis import SPState, ho_shell_states, ho_states_up_to
+from repro.ci.mscheme import MSchemeSpace, SpeciesCounter
+from repro.ci.nnz import estimate_row_nnz, estimate_total_nnz
+from repro.ci.cases import TABLE1_CASES, Table1Case
+
+__all__ = [
+    "SPState",
+    "ho_shell_states",
+    "ho_states_up_to",
+    "MSchemeSpace",
+    "SpeciesCounter",
+    "estimate_row_nnz",
+    "estimate_total_nnz",
+    "TABLE1_CASES",
+    "Table1Case",
+]

@@ -1,0 +1,106 @@
+"""The ¹⁰B calculations of Table I, with the paper's published values.
+
+¹⁰B has 5 protons and 5 neutrons.  The published local sizes follow MFDn's
+2-D triangular processor decomposition: ``np = n(n+1)/2`` processors, local
+Lanczos vectors of ``4 D / n`` bytes (single-precision vectors on the ``n``
+diagonal processors), local matrix of ``~8 nnz / np`` bytes (4-byte value +
+4-byte index per stored element).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ci.mscheme import MSchemeSpace
+
+
+@dataclass(frozen=True)
+class Table1Case:
+    """One row of Table I."""
+
+    name: str
+    nmax: int
+    mj: int
+    published_dimension: int
+    published_nnz: float
+    published_processors: int
+    published_v_local_mb: float
+    published_h_local_mb: float
+
+    def space(self) -> MSchemeSpace:
+        return MSchemeSpace(protons=5, neutrons=5, nmax=self.nmax,
+                            mj2=2 * self.mj)
+
+    @property
+    def diag_processors(self) -> int:
+        """n with n(n+1)/2 = published processor count."""
+        n = int((2 * self.published_processors) ** 0.5)
+        while n * (n + 1) // 2 < self.published_processors:
+            n += 1
+        if n * (n + 1) // 2 != self.published_processors:
+            raise ValueError(
+                f"{self.published_processors} is not a triangular number"
+            )
+        return n
+
+    def v_local_bytes(self, dimension: "int | None" = None) -> float:
+        """Modelled local Lanczos vector size (single precision)."""
+        d = self.published_dimension if dimension is None else dimension
+        return 4.0 * d / self.diag_processors
+
+    def h_local_bytes(self, nnz: "float | None" = None) -> float:
+        """Modelled local matrix size (value + column index per element)."""
+        z = self.published_nnz if nnz is None else nnz
+        return 8.0 * z / self.published_processors
+
+
+TABLE1_CASES: tuple[Table1Case, ...] = (
+    Table1Case("test276", nmax=7, mj=0,
+               published_dimension=int(4.66e7), published_nnz=2.81e10,
+               published_processors=276,
+               published_v_local_mb=8.8, published_h_local_mb=880.0),
+    Table1Case("test1128", nmax=8, mj=1,
+               published_dimension=int(1.60e8), published_nnz=1.24e11,
+               published_processors=1128,
+               published_v_local_mb=13.6, published_h_local_mb=880.0),
+    Table1Case("test4560", nmax=9, mj=2,
+               published_dimension=int(4.82e8), published_nnz=4.62e11,
+               published_processors=4560,
+               published_v_local_mb=20.4, published_h_local_mb=800.0),
+    Table1Case("test18336", nmax=10, mj=3,
+               published_dimension=int(1.30e9), published_nnz=1.51e12,
+               published_processors=18336,
+               published_v_local_mb=27.2, published_h_local_mb=750.0),
+)
+
+
+def triangular_processor_count(min_processors: float) -> int:
+    """Smallest triangular number >= min_processors (MFDn's grid shape)."""
+    if min_processors <= 1:
+        return 1
+    n = 1
+    while n * (n + 1) // 2 < min_processors:
+        n += 1
+    return n * (n + 1) // 2
+
+
+def required_processors(dimension: int, nnz: float,
+                        *, mem_bytes_per_proc: float = 0.98e9,
+                        vector_copies: int = 12) -> int:
+    """Minimum triangular processor count fitting the matrix in memory.
+
+    Memory per processor: the local matrix slice (8 bytes per stored
+    element) plus ``vector_copies`` distributed single-precision vectors
+    (Lanczos working set).  Calibrated against Table I; see tests.
+    """
+    np_guess = 1
+    while True:
+        np_guess = triangular_processor_count(np_guess)
+        n = int((2 * np_guess) ** 0.5)
+        while n * (n + 1) // 2 < np_guess:
+            n += 1
+        h_local = 8.0 * nnz / np_guess
+        v_local = 4.0 * dimension / n
+        if h_local + vector_copies * v_local <= mem_bytes_per_proc:
+            return np_guess
+        np_guess += 1

@@ -1,0 +1,90 @@
+"""Harmonic-oscillator single-particle states.
+
+A 3-D HO shell with ``N`` quanta contains orbital angular momenta
+``l = N, N-2, ..., (0 or 1)``; spin-orbit coupling splits each ``l`` into
+``j = l ± 1/2`` (only ``+`` for ``l = 0``), and each ``j`` carries
+``2j + 1`` magnetic substates.  The shell therefore holds
+``(N + 1)(N + 2)`` single-particle states, and parity is ``(-1)^N``.
+
+States store twice-j and twice-m so everything stays integral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+
+@dataclass(frozen=True)
+class SPState:
+    """One HO single-particle state |n l j m> (jj-coupled, one species)."""
+
+    n: int       # radial quantum number
+    l: int       # orbital angular momentum
+    jj: int      # 2j (odd)
+    mm: int      # 2m_j (odd, |mm| <= jj)
+
+    def __post_init__(self) -> None:
+        if self.n < 0 or self.l < 0:
+            raise ValueError("n and l must be non-negative")
+        if self.jj not in (2 * self.l - 1, 2 * self.l + 1) or self.jj < 1:
+            raise ValueError(f"j={self.jj}/2 incompatible with l={self.l}")
+        if abs(self.mm) > self.jj or (self.mm - self.jj) % 2 != 0:
+            raise ValueError(f"m={self.mm}/2 invalid for j={self.jj}/2")
+
+    @property
+    def quanta(self) -> int:
+        """HO quanta N = 2n + l."""
+        return 2 * self.n + self.l
+
+    @property
+    def parity(self) -> int:
+        return -1 if self.l % 2 else 1
+
+
+def ho_shell_states(N: int) -> list[SPState]:
+    """All single-particle states of the shell with ``N`` quanta."""
+    if N < 0:
+        raise ValueError("shell number must be non-negative")
+    out: list[SPState] = []
+    for l in range(N % 2, N + 1, 2):
+        n = (N - l) // 2
+        for jj in ([2 * l + 1] if l == 0 else [2 * l - 1, 2 * l + 1]):
+            for mm in range(-jj, jj + 1, 2):
+                out.append(SPState(n=n, l=l, jj=jj, mm=mm))
+    assert len(out) == (N + 1) * (N + 2)
+    return out
+
+
+@lru_cache(maxsize=64)
+def ho_states_up_to(N_max: int) -> tuple[SPState, ...]:
+    """All states with quanta <= ``N_max``, shell-ordered (cached)."""
+    out: list[SPState] = []
+    for N in range(N_max + 1):
+        out.extend(ho_shell_states(N))
+    return tuple(out)
+
+
+def shell_size(N: int) -> int:
+    return (N + 1) * (N + 2)
+
+
+def cumulative_states(N_max: int) -> int:
+    """Number of sp states with quanta <= N_max: (N+1)(N+2)(N+3)/3."""
+    return (N_max + 1) * (N_max + 2) * (N_max + 3) // 3
+
+
+def minimal_quanta(particles: int) -> int:
+    """Total HO quanta of the lowest Pauli-allowed configuration of one
+    species: fill shells bottom-up."""
+    if particles < 0:
+        raise ValueError("particle number must be non-negative")
+    total = 0
+    remaining = particles
+    shell = 0
+    while remaining > 0:
+        take = min(remaining, shell_size(shell))
+        total += take * shell
+        remaining -= take
+        shell += 1
+    return total

@@ -1,0 +1,286 @@
+"""Exact M-scheme dimension counting and uniform basis sampling.
+
+The M-scheme basis for (Z protons, N neutrons) at truncation ``Nmax`` and
+total magnetic projection ``Mj`` is the set of Slater-determinant pairs
+(one determinant per species) with
+
+* total HO excitation quanta (above the minimal configuration) at most
+  ``Nmax`` **and of the same parity as** ``Nmax`` (fixing the many-body
+  parity, as MFDn does: even ``Nmax`` spans natural-parity spaces, odd
+  ``Nmax`` unnatural-parity ones);
+* total magnetic projection ``sum m_j = Mj``.
+
+:class:`SpeciesCounter` runs a knapsack-style dynamic program producing,
+for one species, the count of determinants per (quanta, 2M) cell.  Since
+the constraints see a single-particle state only through its (quanta, m)
+pair, states are *grouped* by that pair and the DP walks groups with
+binomial multiplicities — two orders of magnitude fewer steps than
+state-by-state, and small enough to snapshot prefix tables for exact
+uniform sampling by backward branching.  :class:`MSchemeSpace` convolves
+the two species and applies the truncation; it regenerates Table I's
+dimensions exactly and feeds the nnz estimator with uniform basis draws.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.ci.ho_basis import SPState, ho_states_up_to, minimal_quanta
+
+
+@dataclass(frozen=True)
+class _Group:
+    """All single-particle states sharing (quanta, 2m)."""
+
+    quanta: int
+    mm: int
+    states: tuple[SPState, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.states)
+
+
+def _group_states(states: tuple[SPState, ...]) -> list[_Group]:
+    buckets: dict[tuple[int, int], list[SPState]] = {}
+    for s in states:
+        buckets.setdefault((s.quanta, s.mm), []).append(s)
+    return [
+        _Group(q, mm, tuple(ss))
+        for (q, mm), ss in sorted(buckets.items())
+    ]
+
+
+class SpeciesCounter:
+    """Determinant counts of one species per (total quanta, total 2m)."""
+
+    def __init__(self, particles: int, max_quanta: int):
+        if particles < 0:
+            raise ValueError("particle count must be non-negative")
+        if max_quanta < minimal_quanta(particles):
+            raise ValueError(
+                f"max_quanta={max_quanta} below the Pauli minimum "
+                f"{minimal_quanta(particles)} for {particles} particles"
+            )
+        self.particles = particles
+        self.max_quanta = max_quanta
+        self.states: tuple[SPState, ...] = ho_states_up_to(max_quanta)
+        self.groups = _group_states(self.states)
+        # 2m bound: the largest-|2m| states a determinant could combine.
+        jjs = sorted((s.jj for s in self.states), reverse=True)
+        self.mm_bound = sum(jjs[:particles]) if particles else 0
+        self._q_dim = max_quanta + 1
+        self._m_dim = 2 * self.mm_bound + 1
+        # prefix[g][k]: counts using only groups[:g]; prefix[-1] is the full DP.
+        self._prefixes = self._build_prefixes()
+
+    @property
+    def mm_offset(self) -> int:
+        return self.mm_bound
+
+    def _build_prefixes(self) -> list[list[np.ndarray]]:
+        tables = [
+            np.zeros((self._q_dim, self._m_dim), dtype=np.int64)
+            for _ in range(self.particles + 1)
+        ]
+        tables[0][0, self.mm_offset] = 1
+        snapshots = [[t.copy() for t in tables]]
+        for g in self.groups:
+            new = [t.copy() for t in tables]
+            for t_occ in range(1, min(self.particles, g.size) + 1):
+                dq = t_occ * g.quanta
+                dm = t_occ * g.mm
+                if dq >= self._q_dim:
+                    break
+                weight = math.comb(g.size, t_occ)
+                for k in range(t_occ, self.particles + 1):
+                    src = tables[k - t_occ]
+                    dst = new[k]
+                    if dm >= 0:
+                        dst[dq:, dm:] += weight * src[: self._q_dim - dq,
+                                                      : self._m_dim - dm]
+                    else:
+                        dst[dq:, : self._m_dim + dm] += weight * src[
+                            : self._q_dim - dq, -dm:]
+            tables = new
+            snapshots.append([t.copy() for t in tables])
+        return snapshots
+
+    # -- queries -----------------------------------------------------------------
+
+    def count(self, quanta: int, mm_total: int) -> int:
+        """Determinants with exactly ``quanta`` total quanta and 2M."""
+        return self._cell(len(self.groups), self.particles, quanta, mm_total)
+
+    def counts_matrix(self) -> np.ndarray:
+        """The (quanta, shifted 2m) grid for the full species."""
+        return self._prefixes[-1][self.particles]
+
+    def _cell(self, n_groups: int, k: int, q: int, mm: int) -> int:
+        if k < 0 or q < 0 or q > self.max_quanta:
+            return 0
+        col = mm + self.mm_offset
+        if not 0 <= col < self._m_dim:
+            return 0
+        return int(self._prefixes[n_groups][k][q, col])
+
+    # -- uniform sampling -----------------------------------------------------------
+
+    def sample(self, quanta: int, mm_total: int,
+               rng: np.random.Generator) -> list[SPState]:
+        """Uniform determinant with the given (quanta, 2M) totals.
+
+        Walks groups backwards; at group ``g`` the occupancy ``t`` is drawn
+        with weight C(size, t) * prefix_count(rest), then ``t`` distinct
+        states are drawn uniformly from the group.
+        """
+        if self.count(quanta, mm_total) == 0:
+            raise ValueError(f"no determinant with quanta={quanta}, 2M={mm_total}")
+        chosen: list[SPState] = []
+        k, q, mm = self.particles, quanta, mm_total
+        for gi in range(len(self.groups) - 1, -1, -1):
+            if k == 0:
+                break
+            g = self.groups[gi]
+            weights = []
+            t_max = min(k, g.size)
+            for t_occ in range(t_max + 1):
+                rest = self._cell(gi, k - t_occ, q - t_occ * g.quanta,
+                                  mm - t_occ * g.mm)
+                weights.append(math.comb(g.size, t_occ) * rest)
+            total = sum(weights)
+            if total <= 0:  # pragma: no cover - defensive
+                raise RuntimeError("sampling walked into a zero-count cell")
+            draw = int(rng.integers(0, total))
+            t_occ = 0
+            acc = 0
+            for t_occ, w in enumerate(weights):
+                acc += w
+                if draw < acc:
+                    break
+            if t_occ:
+                picked = rng.choice(g.size, size=t_occ, replace=False)
+                chosen.extend(g.states[int(i)] for i in picked)
+                k -= t_occ
+                q -= t_occ * g.quanta
+                mm -= t_occ * g.mm
+        if k != 0:  # pragma: no cover - defensive
+            raise RuntimeError("sampling failed to place all particles")
+        return chosen
+
+
+@dataclass(frozen=True)
+class MSchemeSpace:
+    """The two-species M-scheme space of one Table-I calculation."""
+
+    protons: int
+    neutrons: int
+    nmax: int
+    mj2: int  # twice Mj (even for even A, odd for odd A)
+
+    def __post_init__(self) -> None:
+        if self.nmax < 0:
+            raise ValueError("Nmax must be non-negative")
+        total_parity = (self.protons + self.neutrons) % 2
+        if (self.mj2 % 2) != total_parity:
+            raise ValueError(
+                f"2Mj={self.mj2} has wrong parity for A={self.protons + self.neutrons}"
+            )
+
+    @property
+    def min_quanta(self) -> int:
+        return minimal_quanta(self.protons) + minimal_quanta(self.neutrons)
+
+    @cached_property
+    def proton_counter(self) -> SpeciesCounter:
+        return SpeciesCounter(self.protons,
+                              minimal_quanta(self.protons) + self.nmax)
+
+    @cached_property
+    def neutron_counter(self) -> SpeciesCounter:
+        return SpeciesCounter(self.neutrons,
+                              minimal_quanta(self.neutrons) + self.nmax)
+
+    def _allowed_exc(self, exc: int, fixed_parity: bool) -> bool:
+        if exc < 0 or exc > self.nmax:
+            return False
+        return not fixed_parity or (exc - self.nmax) % 2 == 0
+
+    def dimension(self, *, fixed_parity: bool = True) -> int:
+        """The basis dimension D of Table I.
+
+        ``fixed_parity=True`` restricts total excitation to the parity of
+        ``Nmax`` (MFDn's convention); ``False`` counts every excitation
+        <= Nmax (both parities), kept for convention comparisons.
+        """
+        cp, cn = self.proton_counter, self.neutron_counter
+        mp = cp.counts_matrix()
+        mn = cn.counts_matrix()
+        total = 0
+        for qp in range(mp.shape[0]):
+            for qn in range(mn.shape[0]):
+                if not self._allowed_exc(qp + qn - self.min_quanta, fixed_parity):
+                    continue
+                total += _correlate_at(mp[qp], cp.mm_offset,
+                                       mn[qn], cn.mm_offset, self.mj2)
+        return int(total)
+
+    def sample_determinant(self, rng: np.random.Generator,
+                           *, fixed_parity: bool = True
+                           ) -> tuple[list[SPState], list[SPState]]:
+        """Uniform random basis state: (proton states, neutron states)."""
+        cp, cn = self.proton_counter, self.neutron_counter
+        cells, weights = self._cells(fixed_parity)
+        idx = int(rng.choice(len(cells), p=weights / weights.sum()))
+        qp, qn, mmp = cells[idx]
+        return (
+            cp.sample(qp, mmp, rng),
+            cn.sample(qn, self.mj2 - mmp, rng),
+        )
+
+    @cached_property
+    def _cells_cache(self) -> dict:
+        return {}
+
+    def _cells(self, fixed_parity: bool):
+        cached = self._cells_cache.get(fixed_parity)
+        if cached is not None:
+            return cached
+        cp, cn = self.proton_counter, self.neutron_counter
+        mp = cp.counts_matrix()
+        mn = cn.counts_matrix()
+        cells = []
+        weights = []
+        for qp in range(mp.shape[0]):
+            for qn in range(mn.shape[0]):
+                if not self._allowed_exc(qp + qn - self.min_quanta, fixed_parity):
+                    continue
+                for col_p in np.nonzero(mp[qp])[0]:
+                    mmp = int(col_p) - cp.mm_offset
+                    w_p = int(mp[qp][col_p])
+                    w_n = cn.count(qn, self.mj2 - mmp)
+                    if w_n == 0:
+                        continue
+                    cells.append((qp, qn, mmp))
+                    weights.append(float(w_p) * float(w_n))
+        if not cells:
+            raise ValueError("empty basis: nothing to sample")
+        result = (cells, np.array(weights))
+        self._cells_cache[fixed_parity] = result
+        return result
+
+
+def _correlate_at(row_a: np.ndarray, off_a: int,
+                  row_b: np.ndarray, off_b: int, target: int) -> int:
+    """sum over ma + mb = target of row_a[ma] * row_b[mb] (shifted)."""
+    total = 0
+    for col_a in np.nonzero(row_a)[0]:
+        ma = int(col_a) - off_a
+        col_b = (target - ma) + off_b
+        if 0 <= col_b < row_b.shape[0]:
+            total += int(row_a[col_a]) * int(row_b[col_b])
+    return total

@@ -1,0 +1,190 @@
+"""Stochastic estimation of the Hamiltonian's nonzero count.
+
+With a 2-body interaction, ``H_ij`` can be nonzero only when determinants
+``i`` and ``j`` differ in at most two single-particle states (Slater-Condon
+rules), conserve total M, and both lie in the truncated basis.  The number
+of nonzeros per row is therefore the number of 0-, 1-, and 2-substitution
+moves from a basis state that stay in the basis.
+
+Enumerating all D rows is out of reach for Table I's spaces (D up to 1.3e9)
+— MFDn itself distributes this counting over thousands of cores — so we
+estimate: sample basis determinants *uniformly* (exact DP-backed sampling,
+:meth:`repro.ci.mscheme.MSchemeSpace.sample_determinant`) and count each
+sampled row's connections exactly with group-level combinatorics (no move
+enumeration).  The estimator is unbiased for the mean row count, and
+``nnz = D * mean_row``; DESIGN.md records this as the one deliberate
+approximation in Table I (D itself is exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ci.ho_basis import SPState
+from repro.ci.mscheme import MSchemeSpace, SpeciesCounter
+
+
+def _group_grid(counter: SpeciesCounter) -> np.ndarray:
+    """G[q, m_col] = number of single-particle states in that (q, 2m) cell."""
+    grid = np.zeros((counter.max_quanta + 1, 2 * counter.mm_bound + 1),
+                    dtype=np.int64)
+    for g in counter.groups:
+        grid[g.quanta, g.mm + counter.mm_offset] = g.size
+    return grid
+
+
+def _occupancy_grid(counter: SpeciesCounter,
+                    occ: Sequence[SPState]) -> np.ndarray:
+    grid = np.zeros((counter.max_quanta + 1, 2 * counter.mm_bound + 1),
+                    dtype=np.int64)
+    for s in occ:
+        grid[s.quanta, s.mm + counter.mm_offset] += 1
+    return grid
+
+
+def _singles_table(counter: SpeciesCounter, occ: Sequence[SPState],
+                   unocc: np.ndarray) -> dict[tuple[int, int], int]:
+    """count of (a in occ, b unoccupied) moves keyed by (2dm, dq).
+
+    No in-basis filtering here — the caller applies the joint constraints.
+    """
+    table: dict[tuple[int, int], int] = {}
+    q_dim, m_dim = unocc.shape
+    off = counter.mm_offset
+    for a in occ:
+        for qb in range(q_dim):
+            row = unocc[qb]
+            for col in np.nonzero(row)[0]:
+                dm = (int(col) - off) - a.mm
+                dq = qb - a.quanta
+                key = (dm, dq)
+                table[key] = table.get(key, 0) + int(row[col])
+    return table
+
+
+def _pair_targets(unocc: np.ndarray, off: int, q2: int, m2: int) -> int:
+    """Unordered pairs of distinct unoccupied states with total quanta q2
+    and total 2m equal to m2."""
+    q_dim, m_dim = unocc.shape
+    ordered = 0
+    for q1 in range(max(0, q2 - (q_dim - 1)), min(q2, q_dim - 1) + 1):
+        qb = q2 - q1
+        row1 = unocc[q1]
+        row2 = unocc[qb]
+        # sum over m1 of row1[m1] * row2[m2 - m1] with shifted columns.
+        for col1 in np.nonzero(row1)[0]:
+            m1 = int(col1) - off
+            col2 = (m2 - m1) + off
+            if 0 <= col2 < m_dim:
+                ordered += int(row1[col1]) * int(row2[col2])
+    # Subtract self-pairs (b, b): a state used twice needs 2q_b = q2, 2m_b = m2.
+    diag = 0
+    if q2 % 2 == 0 and m2 % 2 == 0:
+        qb = q2 // 2
+        col = (m2 // 2) + off
+        if 0 <= qb < q_dim and 0 <= col < m_dim:
+            diag = int(unocc[qb, col])
+    return (ordered - diag) // 2
+
+
+@dataclass(frozen=True)
+class RowEstimate:
+    """Monte-Carlo estimate of the mean row nonzero count."""
+
+    samples: int
+    mean: float
+    std_error: float
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        return (self.mean - 1.96 * self.std_error,
+                self.mean + 1.96 * self.std_error)
+
+
+def count_row_connections(space: MSchemeSpace,
+                          protons: Sequence[SPState],
+                          neutrons: Sequence[SPState]) -> int:
+    """Exact number of basis states connected to one determinant
+    (including itself: the diagonal entry)."""
+    cp, cn = space.proton_counter, space.neutron_counter
+    exc = (sum(s.quanta for s in protons) + sum(s.quanta for s in neutrons)
+           - space.min_quanta)
+    budget_hi = space.nmax - exc   # max allowed total dq
+    budget_lo = -exc               # min allowed total dq
+
+    def dq_allowed(dq: int) -> bool:
+        # Parity of the excitation is pinned to Nmax's parity, so any
+        # in-basis move changes total quanta by an even amount.
+        return budget_lo <= dq <= budget_hi and dq % 2 == 0
+
+    unocc_p = _group_grid(cp) - _occupancy_grid(cp, protons)
+    unocc_n = _group_grid(cn) - _occupancy_grid(cn, neutrons)
+
+    total = 1  # the diagonal
+
+    singles_p = _singles_table(cp, protons, unocc_p)
+    singles_n = _singles_table(cn, neutrons, unocc_n)
+
+    # 1-substitution moves: dm = 0 and even dq within budget.
+    for (dm, dq), count in singles_p.items():
+        if dm == 0 and dq_allowed(dq):
+            total += count
+    for (dm, dq), count in singles_n.items():
+        if dm == 0 and dq_allowed(dq):
+            total += count
+
+    # Cross-species doubles: any (dm, dq_p) x (-dm, dq_n) with dq_p + dq_n
+    # allowed. Individual moves may break M or parity; the pair restores them.
+    n_by_dm: dict[int, list[tuple[int, int]]] = {}
+    for (dm, dq), count in singles_n.items():
+        n_by_dm.setdefault(dm, []).append((dq, count))
+    for (dm, dq_p), count_p in singles_p.items():
+        for dq_n, count_n in n_by_dm.get(-dm, []):
+            if dq_allowed(dq_p + dq_n):
+                total += count_p * count_n
+
+    # Same-species doubles: occupied pair out, unoccupied pair in.
+    for counter, occ, unocc in ((cp, protons, unocc_p), (cn, neutrons, unocc_n)):
+        off = counter.mm_offset
+        occ_list = list(occ)
+        for i in range(len(occ_list)):
+            for j in range(i + 1, len(occ_list)):
+                a1, a2 = occ_list[i], occ_list[j]
+                q_out = a1.quanta + a2.quanta
+                m2 = a1.mm + a2.mm
+                for dq in range(budget_lo, budget_hi + 1):
+                    if dq % 2 != 0:
+                        continue
+                    q2 = q_out + dq
+                    if q2 < 0:
+                        continue
+                    total += _pair_targets(unocc, off, q2, m2)
+    return total
+
+
+def estimate_row_nnz(space: MSchemeSpace, samples: int,
+                     rng: np.random.Generator) -> RowEstimate:
+    """Monte-Carlo mean row nonzero count over uniform basis states."""
+    if samples < 2:
+        raise ValueError("need at least two samples for a standard error")
+    counts = np.empty(samples, dtype=np.float64)
+    for k in range(samples):
+        protons, neutrons = space.sample_determinant(rng)
+        counts[k] = count_row_connections(space, protons, neutrons)
+    return RowEstimate(
+        samples=samples,
+        mean=float(counts.mean()),
+        std_error=float(counts.std(ddof=1) / np.sqrt(samples)),
+    )
+
+
+def estimate_total_nnz(space: MSchemeSpace, samples: int,
+                       rng: np.random.Generator,
+                       *, dimension: "int | None" = None) -> tuple[float, float]:
+    """(nnz estimate, standard error): D x mean row count."""
+    d = space.dimension() if dimension is None else dimension
+    row = estimate_row_nnz(space, samples, rng)
+    return d * row.mean, d * row.std_error

@@ -1,0 +1,38 @@
+"""Simulated cluster hardware: specs, nodes, interconnect, and GPFS.
+
+The presets encode the two machines of the paper:
+
+* :func:`repro.cluster.spec.carver_ssd_testbed` — the experimental SSD
+  testbed on NERSC Carver (Section V): 40 compute + 10 I/O nodes, two
+  Virident tachIOn cards per I/O node (1 GB/s each, 20 GB/s peak
+  aggregate), 4X QDR InfiniBand, GPFS.
+* :func:`repro.cluster.spec.hopper` — NERSC Hopper, the Cray XE6 used for
+  the in-core MFDn baseline (Section II).
+"""
+
+from repro.cluster.spec import (
+    ClusterSpec,
+    FilesystemSpec,
+    InterconnectSpec,
+    IONodeSpec,
+    NodeSpec,
+    SSDSpec,
+    carver_colocated_ssd,
+    carver_ssd_testbed,
+    hopper,
+)
+from repro.cluster.machine import SimCluster, SimNode
+
+__all__ = [
+    "NodeSpec",
+    "SSDSpec",
+    "IONodeSpec",
+    "FilesystemSpec",
+    "InterconnectSpec",
+    "ClusterSpec",
+    "carver_ssd_testbed",
+    "carver_colocated_ssd",
+    "hopper",
+    "SimCluster",
+    "SimNode",
+]

@@ -1,0 +1,78 @@
+"""Global array descriptors.
+
+Arrays are one-dimensional, typed, of arbitrary size, and structured in
+fixed-size *blocks*; the data within a block is contiguous in memory.  An
+array is *immutable*: each element is written at most once, and becomes
+readable only after the writer releases its interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import StorageError
+
+
+@dataclass(frozen=True)
+class ArrayDesc:
+    """Shape-level description of a global array.
+
+    ``length`` counts elements of ``dtype``; ``block_elems`` is the block
+    granularity (the unit of storage, transfer, and eviction).  The last
+    block may be short.
+    """
+
+    name: str
+    length: int
+    dtype: str = "float64"
+    block_elems: int = 2**20
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise StorageError("array needs a non-empty name")
+        if self.length <= 0:
+            raise StorageError(f"array {self.name!r}: length must be positive")
+        if self.block_elems <= 0:
+            raise StorageError(f"array {self.name!r}: block_elems must be positive")
+        np.dtype(self.dtype)  # raises TypeError on junk
+
+    @property
+    def itemsize(self) -> int:
+        return np.dtype(self.dtype).itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.length * self.itemsize
+
+    @property
+    def n_blocks(self) -> int:
+        return -(-self.length // self.block_elems)
+
+    def block_bounds(self, block: int) -> tuple[int, int]:
+        """Element range [lo, hi) covered by ``block``."""
+        if not 0 <= block < self.n_blocks:
+            raise StorageError(
+                f"array {self.name!r}: block {block} outside 0..{self.n_blocks - 1}"
+            )
+        lo = block * self.block_elems
+        return lo, min(lo + self.block_elems, self.length)
+
+    def block_length(self, block: int) -> int:
+        lo, hi = self.block_bounds(block)
+        return hi - lo
+
+    def block_nbytes(self, block: int) -> int:
+        return self.block_length(block) * self.itemsize
+
+    def block_of(self, element: int) -> int:
+        """Block index containing element ``element``."""
+        if not 0 <= element < self.length:
+            raise StorageError(
+                f"array {self.name!r}: element {element} outside 0..{self.length - 1}"
+            )
+        return element // self.block_elems
+
+    def blocks(self) -> range:
+        return range(self.n_blocks)

@@ -1,0 +1,107 @@
+"""Partitioned global data map with random-peer lookup.
+
+The "global mapping (of which data is stored where) is not replicated on
+each node but instead partitioned"; when a node needs a block it does not
+host, it "asks the storage filter on a randomly selected compute node",
+and it "keeps track of which interval it has requested from other
+computing nodes" to avoid duplicate traffic.
+
+We implement the walk as a sequence of *probes*: the requester asks a
+random peer; a peer that hosts the array answers, otherwise it reports a
+miss and the requester probes another peer it has not asked yet.  One
+deliberate deviation from the paper (documented in DESIGN.md): probes
+exclude already-visited peers, guaranteeing termination in at most
+``n_nodes - 1`` probes even for adversarial RNG draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.errors import DoocError
+
+
+class LookupFailed(DoocError):
+    """Every peer was probed and none hosts the requested array."""
+
+
+@dataclass
+class _Walk:
+    key: tuple[str, int]
+    visited: set[int] = field(default_factory=set)
+    probes: int = 0
+
+
+class DirectoryClient:
+    """Per-node lookup engine.
+
+    The driver supplies the probe transport: call :meth:`next_probe` to get
+    the peer to ask, then report :meth:`probe_hit` / :meth:`probe_miss`.
+    Multiple concurrent walks are tracked by (array, block) key, and
+    duplicate lookups for a key already in flight are coalesced.
+    """
+
+    def __init__(self, node: int, n_nodes: int, rng: np.random.Generator):
+        if not 0 <= node < n_nodes:
+            raise DoocError(f"node {node} outside cluster of {n_nodes}")
+        self.node = node
+        self.n_nodes = n_nodes
+        self.rng = rng
+        self._walks: dict[tuple[str, int], _Walk] = {}
+        self.resolved: dict[tuple[str, int], int] = {}  # cache: key -> owner
+        self.total_probes = 0
+
+    def start_lookup(self, array: str, block: int) -> Optional[int]:
+        """Begin (or join) a lookup; returns the cached owner if known.
+
+        Returns None when a walk is (now) in flight; drive it with
+        :meth:`next_probe`.
+        """
+        key = (array, block)
+        if key in self.resolved:
+            return self.resolved[key]
+        if key not in self._walks:
+            self._walks[key] = _Walk(key=key, visited={self.node})
+        return None
+
+    def in_flight(self, array: str, block: int) -> bool:
+        return (array, block) in self._walks
+
+    def next_probe(self, array: str, block: int) -> int:
+        """The peer to ask next for this key."""
+        walk = self._walks.get((array, block))
+        if walk is None:
+            raise DoocError(f"no lookup in flight for {array}[{block}]")
+        candidates = [n for n in range(self.n_nodes) if n not in walk.visited]
+        if not candidates:
+            del self._walks[(array, block)]
+            raise LookupFailed(
+                f"no node hosts {array}[{block}] (probed all "
+                f"{self.n_nodes - 1} peers)"
+            )
+        peer = int(self.rng.choice(candidates))
+        walk.visited.add(peer)
+        walk.probes += 1
+        self.total_probes += 1
+        return peer
+
+    def probe_hit(self, array: str, block: int, owner: int) -> None:
+        """A peer confirmed it hosts the array; cache and close the walk."""
+        key = (array, block)
+        if key not in self._walks:
+            raise DoocError(f"hit for {array}[{block}] without a walk")
+        self.resolved[key] = owner
+        del self._walks[key]
+
+    def probe_miss(self, array: str, block: int) -> None:
+        """The probed peer does not host the array; the walk continues."""
+        if (array, block) not in self._walks:
+            raise DoocError(f"miss for {array}[{block}] without a walk")
+
+    def invalidate(self, array: str) -> None:
+        """Forget cached owners of an array (it was deleted)."""
+        for key in [k for k in self.resolved if k[0] == array]:
+            del self.resolved[key]

@@ -1,0 +1,904 @@
+"""The threaded out-of-core execution engine.
+
+``DOoCEngine`` runs a :class:`Program` — global arrays plus tasks declaring
+whole arrays as inputs/outputs — on an in-process "cluster" of logical
+nodes.  The engine builds the paper's architecture (Fig. 2) as a DataCutter
+layout:
+
+* one **storage filter** per node owning a :class:`~repro.core.storage.LocalStore`
+  over a per-node scratch directory, with complete peer-to-peer links to
+  all other storage filters (random-peer directory lookups + block fetches);
+* one or more **I/O filters** per node, so filesystem interaction is fully
+  asynchronous;
+* a **local scheduler filter** per node driving
+  :class:`~repro.core.local_scheduler.LocalSchedulerCore` (splitting,
+  data-aware reordering, prefetching);
+* replicated **worker filters** per node executing task bodies on NumPy
+  views granted by the storage layer;
+* one **global scheduler filter** walking the derived task DAG and
+  dispatching ready tasks to the node chosen by the affinity heuristic.
+
+Nodes are threads sharing one address space; "remote" transfers are
+real messages through the peer protocol (the payload copy is genuine), so
+every protocol path of the paper executes, just without a physical wire.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.array import ArrayDesc
+from repro.core.dag import TaskDAG
+from repro.core.directory import DirectoryClient
+from repro.core.errors import DoocError, SchedulingError, StorageError
+from repro.core.global_scheduler import GlobalScheduler
+from repro.core.interval import Interval, intervals_for_range, whole_array
+from repro.core.iofilter import IOFilter, read_block, write_array
+from repro.core.local_scheduler import LocalSchedulerCore
+from repro.core.storage import Effect, LocalStore, StoreStats, Ticket
+from repro.core.task import TaskSpec
+from repro.datacutter.buffers import END_OF_STREAM, DataBuffer
+from repro.datacutter.errors import StreamClosedError
+from repro.datacutter.filters import Filter, FilterContext
+from repro.datacutter.layout import DistributionPolicy, Layout
+from repro.datacutter.runtime import ThreadedRuntime
+from repro.util.rng import RngTree
+
+__all__ = ["Program", "DOoCEngine", "RunReport"]
+
+
+# ---------------------------------------------------------------------------
+# Program description
+# ---------------------------------------------------------------------------
+
+
+class Program:
+    """A DOoC application: global arrays + tasks.
+
+    Initial arrays carry data (seeded to a node's scratch directory before
+    the run); derived arrays are produced by exactly one task each.
+    """
+
+    def __init__(self, name: str = "program", *, default_block_elems: int = 2**16):
+        self.name = name
+        self.default_block_elems = default_block_elems
+        self.arrays: dict[str, ArrayDesc] = {}
+        self.initial_data: dict[str, np.ndarray] = {}
+        self.initial_home: dict[str, int] = {}
+        self.tasks: list[TaskSpec] = []
+
+    def array(
+        self,
+        name: str,
+        length: int,
+        *,
+        dtype: str = "float64",
+        block_elems: Optional[int] = None,
+    ) -> ArrayDesc:
+        """Declare a derived array (to be produced by a task)."""
+        if name in self.arrays:
+            raise DoocError(f"array {name!r} declared twice")
+        desc = ArrayDesc(name, length=length, dtype=dtype,
+                         block_elems=block_elems or self.default_block_elems)
+        self.arrays[name] = desc
+        return desc
+
+    def initial_array(
+        self,
+        name: str,
+        data: np.ndarray,
+        *,
+        home: int = 0,
+        block_elems: Optional[int] = None,
+    ) -> ArrayDesc:
+        """Declare an input array with seed data, homed on ``home``."""
+        data = np.asarray(data)
+        if data.ndim != 1:
+            raise DoocError(f"initial array {name!r} must be 1-D")
+        desc = self.array(name, len(data), dtype=str(data.dtype),
+                          block_elems=block_elems)
+        self.initial_data[name] = data
+        self.initial_home[name] = home
+        return desc
+
+    def initial_from_scratch(
+        self,
+        name: str,
+        length: int,
+        *,
+        home: int = 0,
+        dtype: str = "float64",
+        block_elems: Optional[int] = None,
+    ) -> ArrayDesc:
+        """Declare an input array whose backing file already exists in the
+        home node's scratch directory (seeded by a previous run or by
+        :func:`repro.core.iofilter.write_array`) — the paper's startup
+        scan: "the storage looks for files in that directory"."""
+        desc = self.array(name, length, dtype=dtype, block_elems=block_elems)
+        self.initial_data[name] = None  # type: ignore[assignment]
+        self.initial_home[name] = home
+        return desc
+
+    def add_task(
+        self,
+        name: str,
+        fn,
+        inputs: "list[str] | tuple[str, ...]",
+        outputs: "list[str] | tuple[str, ...]",
+        *,
+        flops: float = 0.0,
+        splittable: bool = False,
+        **meta: Any,
+    ) -> TaskSpec:
+        for array in list(inputs) + list(outputs):
+            if array not in self.arrays:
+                raise DoocError(
+                    f"task {name!r} references undeclared array {array!r}"
+                )
+        spec = TaskSpec(name=name, fn=fn, inputs=tuple(inputs),
+                        outputs=tuple(outputs), flops=flops,
+                        splittable=splittable, meta=dict(meta))
+        self.tasks.append(spec)
+        return spec
+
+    def build_dag(self) -> TaskDAG:
+        return TaskDAG(self.tasks, initial_arrays=set(self.initial_data))
+
+
+# ---------------------------------------------------------------------------
+# Filters
+# ---------------------------------------------------------------------------
+
+
+class _StorageFilter(Filter):
+    """Per-node storage service: the event loop around LocalStore."""
+
+    inputs = ("req", "io_done", "peer_in")
+
+    def __init__(self, node: int, n_nodes: int, store: LocalStore,
+                 directory: DirectoryClient, descs: dict[str, ArrayDesc]):
+        self.node = node
+        self.n_nodes = n_nodes
+        self.store = store
+        self.directory = directory
+        self.descs = descs
+        self.outputs = ("rep_workers", "rep_lsched", "io_cmd") + tuple(
+            f"peer_out_{j}" for j in range(n_nodes) if j != node
+        )
+        self._outstanding_io = 0
+        self._draining = False
+        # array -> blocks awaiting owner resolution
+        self._awaiting_owner: dict[str, list[int]] = {}
+        # arrays whose GC delete raced an in-flight pin; retried on release
+        self._gc_pending: set[str] = set()
+
+    # -- helpers --------------------------------------------------------------
+
+    def _peer_write(self, ctx: FilterContext, peer: int, payload: dict) -> None:
+        try:
+            ctx.write(f"peer_out_{peer}", DataBuffer(payload))
+        except StreamClosedError:
+            if not self._draining:
+                raise  # only tolerable while winding down
+
+    def _reply(self, ctx: FilterContext, tag, payload: dict) -> None:
+        kind = tag[0]
+        if kind == "worker":
+            ctx.write("rep_workers", DataBuffer(payload, {"__dest__": tag[1]}))
+        elif kind == "lsched":
+            ctx.write("rep_lsched", DataBuffer(payload))
+        elif kind == "peer":
+            ticket: Ticket = payload["ticket"]
+            iv = ticket.interval
+            self._peer_write(ctx, tag[1], {
+                "op": "blockdata",
+                "array": iv.array,
+                "block": iv.block,
+                "data": np.asarray(ticket.data).copy(),
+            })
+            # Served: release our local pin immediately.
+            self._execute(ctx, self.store.release(ticket))
+        else:  # pragma: no cover - defensive
+            raise StorageError(f"unroutable grant tag {tag!r}")
+
+    def _execute(self, ctx: FilterContext, effects: list[Effect]) -> None:
+        for e in effects:
+            if e.kind == "load":
+                self._outstanding_io += 1
+                ctx.write("io_cmd", DataBuffer(
+                    {"op": "load", "desc": self.descs[e.array], "block": e.block}))
+            elif e.kind == "spill":
+                self._outstanding_io += 1
+                ctx.write("io_cmd", DataBuffer(
+                    {"op": "store", "desc": self.descs[e.array], "block": e.block,
+                     "data": e.data}))
+            elif e.kind == "drop":
+                pass  # memory already reclaimed by the store
+            elif e.kind == "fetch_remote":
+                self._start_fetch(ctx, e.array, e.block)
+            elif e.kind in ("grant_read", "grant_write"):
+                assert e.ticket is not None
+                self._reply(ctx, e.ticket.tag, {"op": "grant", "ticket": e.ticket})
+            else:  # pragma: no cover - defensive
+                raise StorageError(f"unknown effect {e.kind!r}")
+
+    def _start_fetch(self, ctx: FilterContext, array: str, block: int) -> None:
+        # The global map is partitioned, not replicated: this node does not
+        # know where a remote array lives and must resolve the owner through
+        # the random-peer walk (cached after the first resolution).
+        cached = self.directory.start_lookup(array, 0)
+        if cached is not None:
+            self._peer_write(ctx, cached, {
+                "op": "fetch", "array": array, "block": block, "from": self.node})
+            return
+        pending = self._awaiting_owner.setdefault(array, [])
+        pending.append(block)
+        if len(pending) == 1:  # first block starts the walk
+            peer = self.directory.next_probe(array, 0)
+            self._peer_write(ctx, peer, {
+                "op": "lookup", "array": array, "from": self.node})
+
+    def _handle_peer(self, ctx: FilterContext, msg: dict) -> None:
+        op = msg["op"]
+        if op == "lookup":
+            hit = self.store.has_array(msg["array"]) and not self.store.is_remote(msg["array"])
+            self._peer_write(ctx, msg["from"], {
+                "op": "lookup_reply", "array": msg["array"], "hit": hit,
+                "owner": self.node})
+        elif op == "lookup_reply":
+            array = msg["array"]
+            if array not in self._awaiting_owner:
+                return  # walk abandoned (drain)
+            if msg["hit"]:
+                self.directory.probe_hit(array, 0, msg["owner"])
+                for block in self._awaiting_owner.pop(array):
+                    self._peer_write(ctx, msg["owner"], {
+                        "op": "fetch", "array": array, "block": block,
+                        "from": self.node})
+            else:
+                self.directory.probe_miss(array, 0)
+                peer = self.directory.next_probe(array, 0)
+                self._peer_write(ctx, peer, {
+                    "op": "lookup", "array": array, "from": self.node})
+        elif op == "fetch":
+            if self._draining:
+                return  # requester is winding down too; drop the request
+            iv_desc = self.descs[msg["array"]]
+            lo, hi = iv_desc.block_bounds(msg["block"])
+            ticket, effects = self.store.request_read(
+                Interval(msg["array"], msg["block"], lo, hi))
+            ticket.tag = ("peer", msg["from"])
+            self._execute(ctx, effects)
+        elif op == "blockdata":
+            self._execute(ctx, self.store.on_remote_data(
+                msg["array"], msg["block"], msg["data"]))
+            self._wake_scheduler(ctx)
+        else:  # pragma: no cover - defensive
+            raise StorageError(f"unknown peer op {op!r}")
+
+    def _handle_request(self, ctx: FilterContext, msg: dict) -> None:
+        op = msg["op"]
+        if op in ("read", "write"):
+            if op == "read":
+                ticket, effects = self.store.request_read(msg["interval"])
+            else:
+                ticket, effects = self.store.request_write(msg["interval"])
+            ticket.tag = msg["reply_to"]
+            self._execute(ctx, effects)
+        elif op == "release":
+            self._execute(ctx, self.store.release(msg["ticket"]))
+            if self._gc_pending:
+                for name in list(self._gc_pending):
+                    self._try_delete(ctx, name)
+        elif op == "prefetch":
+            desc = self.descs[msg["array"]]
+            for iv in whole_array(desc):
+                self._execute(ctx, self.store.prefetch(iv))
+        elif op == "map":
+            ctx.write("rep_lsched", DataBuffer(
+                {"op": "map", "resident": self.store.resident_arrays()}))
+        elif op == "delete":
+            self.directory.invalidate(msg["array"])
+            self._try_delete(ctx, msg["array"])
+        elif op == "shutdown":
+            # Stop initiating work; processing continues until every inbound
+            # stream reaches end-of-stream so that late releases still seal
+            # their blocks.
+            self._draining = True
+            self._awaiting_owner.clear()
+            self.store.abandon_pending_allocs()
+            for j in range(self.n_nodes):
+                if j != self.node:
+                    ctx.close(f"peer_out_{j}")
+        else:  # pragma: no cover - defensive
+            raise StorageError(f"unknown storage op {op!r}")
+
+    def process(self, ctx: FilterContext) -> None:
+        ports = ["req", "io_done", "peer_in"]
+        io_closed = False
+        while True:
+            if self._draining and self._outstanding_io == 0 and not io_closed:
+                # Closing io_cmd lets the I/O filters exit, which EOSes
+                # io_done; the loop then runs to EOS of all ports, so every
+                # in-flight release/peer message is still processed.
+                ctx.close("io_cmd")
+                io_closed = True
+            port, buf = ctx.read_any(ports)
+            if buf is END_OF_STREAM:
+                break
+            msg = buf.payload
+            if port == "req":
+                self._handle_request(ctx, msg)
+            elif port == "peer_in":
+                self._handle_peer(ctx, msg)
+            else:  # io_done
+                self._outstanding_io -= 1
+                if msg["op"] == "loaded":
+                    self._execute(ctx, self.store.on_loaded(
+                        msg["desc"].name, msg["block"], msg["data"]))
+                elif msg["op"] == "stored":
+                    self._execute(ctx, self.store.on_spilled(
+                        msg["desc"].name, msg["block"]))
+                # "unlinked": nothing to do beyond the accounting above
+                if self._gc_pending and not self._draining:
+                    # A finished load/spill may have unpinned a to-be-deleted
+                    # block.
+                    for name in list(self._gc_pending):
+                        self._try_delete(ctx, name)
+                self._wake_scheduler(ctx)
+        if not io_closed:
+            ctx.close("io_cmd")
+
+    def _try_delete(self, ctx: FilterContext, name: str) -> None:
+        """Delete an array; if a block is still pinned (a GC message can
+        arrive before the consumer's final release message), park it for a
+        retry on the next release."""
+        if not self.store.has_array(name):
+            self._gc_pending.discard(name)
+            return
+        was_local = not self.store.is_remote(name)
+        try:
+            self._execute(ctx, self.store.delete_array(name))
+        except StorageError:
+            self._gc_pending.add(name)
+            return
+        self._gc_pending.discard(name)
+        if was_local:
+            self._outstanding_io += 1
+            ctx.write("io_cmd", DataBuffer(
+                {"op": "unlink", "desc": self.descs[name], "block": -1}))
+
+    def _wake_scheduler(self, ctx: FilterContext) -> None:
+        """Nudge the local scheduler: residency just changed."""
+        if not self._draining:
+            ctx.write("rep_lsched", DataBuffer({"op": "wake"}))
+
+
+class _WorkerFilter(Filter):
+    """Executes task bodies against storage-granted views."""
+
+    inputs = ("in", "from_storage")
+    outputs = ("to_storage", "to_lsched")
+
+    def __init__(self, descs: dict[str, ArrayDesc]):
+        self.descs = descs
+
+    # -- storage round-trips ----------------------------------------------------
+
+    def _request_all(self, ctx: FilterContext, op: str,
+                     intervals: list[Interval]) -> list[Ticket]:
+        for iv in intervals:
+            ctx.write("to_storage", DataBuffer(
+                {"op": op, "interval": iv,
+                 "reply_to": ("worker", ctx.instance)}))
+        granted: list[Ticket] = []
+        while len(granted) < len(intervals):
+            buf = ctx.read("from_storage")
+            if buf is END_OF_STREAM:
+                raise StorageError("storage closed while awaiting grants")
+            msg = buf.payload
+            assert msg["op"] == "grant"
+            granted.append(msg["ticket"])
+        # Order grants to match the request order.
+        by_iv = {(t.interval.array, t.interval.block, t.interval.lo): t
+                 for t in granted}
+        return [by_iv[(iv.array, iv.block, iv.lo)] for iv in intervals]
+
+    def _release_all(self, ctx: FilterContext, tickets: list[Ticket]) -> None:
+        for t in tickets:
+            ctx.write("to_storage", DataBuffer({"op": "release", "ticket": t}))
+
+    # -- data assembly -------------------------------------------------------------
+
+    def _gather_input(self, tickets: list[Ticket]) -> np.ndarray:
+        if len(tickets) == 1:
+            return tickets[0].data
+        # Multi-block arrays are reassembled with a copy — "trading
+        # performance for semantic simplicity".
+        return np.concatenate([t.data for t in tickets])
+
+    def _run_task(self, ctx: FilterContext, task: TaskSpec) -> None:
+        out_ranges: dict[str, tuple[int, int]] = task.meta.get("out_ranges", {})
+        read_tickets: dict[str, list[Ticket]] = {}
+        for array in task.inputs:
+            ivs = whole_array(self.descs[array])
+            read_tickets[array] = self._request_all(ctx, "read", ivs)
+        write_tickets: dict[str, list[Ticket]] = {}
+        out_buffers: dict[str, np.ndarray] = {}
+        scatter: list[tuple[str, np.ndarray]] = []
+        for array in task.outputs:
+            desc = self.descs[array]
+            lo, hi = out_ranges.get(array, (0, desc.length))
+            ivs = intervals_for_range(desc, lo, hi)
+            tickets = self._request_all(ctx, "write", ivs)
+            write_tickets[array] = tickets
+            if len(tickets) == 1:
+                out_buffers[array] = tickets[0].data
+            else:
+                temp = np.empty(hi - lo, dtype=desc.dtype)
+                out_buffers[array] = temp
+                scatter.append((array, temp))
+        inputs = {a: self._gather_input(ts) for a, ts in read_tickets.items()}
+        task.fn(inputs, out_buffers, task.meta)
+        for array, temp in scatter:
+            desc = self.descs[array]
+            lo, _ = out_ranges.get(array, (0, desc.length))
+            for t in write_tickets[array]:
+                t.data[:] = temp[t.interval.lo - lo: t.interval.hi - lo]
+        for tickets in read_tickets.values():
+            self._release_all(ctx, tickets)
+        for tickets in write_tickets.values():
+            self._release_all(ctx, tickets)
+
+    def process(self, ctx: FilterContext) -> None:
+        ctx.write("to_lsched", DataBuffer({"op": "idle", "inst": ctx.instance}))
+        while True:
+            buf = ctx.read("in")
+            if buf is END_OF_STREAM:
+                return
+            msg = buf.payload
+            if msg["op"] == "shutdown":
+                return
+            task: TaskSpec = msg["task"]
+            self._run_task(ctx, task)
+            ctx.write("to_lsched", DataBuffer(
+                {"op": "done", "task": task.name,
+                 "parent": task.meta.get("parent")}))
+            ctx.write("to_lsched", DataBuffer({"op": "idle", "inst": ctx.instance}))
+
+
+class _LocalSchedulerFilter(Filter):
+    """Per-node scheduler: dispatch, split, prefetch.
+
+    Faithful to Section III-C: "When a computing filter is free, a task
+    which is ready and whose data input are available in memory is sent to
+    the computing filter", with prefetch requests keeping a window of
+    ready tasks memory-resident.  Liveness is guaranteed by a stall
+    counter: when a node has been idle for a few ticks with no prefetch
+    landing (the storage may drop prefetches under memory pressure), the
+    top-ranked task is dispatched anyway and its demand reads do the I/O.
+    """
+
+    inputs = ("in", "from_workers", "from_storage")
+    outputs = ("to_gsched", "to_workers", "to_storage")
+
+    #: seconds between liveness ticks while idle work exists
+    TICK_S = 0.02
+    #: idle ticks before dispatching a task whose inputs are not resident
+    STALL_TICKS = 3
+
+    def __init__(self, node: int, workers: int,
+                 nbytes: dict[str, int], *, prefetch_depth: int = 2,
+                 reorder: bool = True):
+        self.core = LocalSchedulerCore(node, prefetch_depth=prefetch_depth,
+                                       reorder=reorder)
+        self.node = node
+        self.workers = workers
+        self.nbytes = nbytes
+        self._idle: list[int] = []
+        self._parents: dict[str, int] = {}  # parent task -> remaining subtasks
+        self._inflight = 0
+        self._stall = 0
+
+    def _query_map(self, ctx: FilterContext) -> set[str]:
+        ctx.write("to_storage", DataBuffer({"op": "map"}))
+        while True:
+            buf = ctx.read("from_storage")
+            if buf is END_OF_STREAM:
+                return set()
+            if buf.payload["op"] == "map":
+                return buf.payload["resident"]
+            # "wake" notifications racing the reply are absorbed here; the
+            # dispatch about to run uses the fresher map anyway.
+
+    def _choose(self, resident: set[str]) -> Optional[TaskSpec]:
+        ranked = self.core.rank(resident, self.nbytes)
+        if not ranked:
+            return None
+        if not self.core.reorder:
+            # Ablation: the naive plan runs strictly in readiness order,
+            # paying demand loads as they come (Fig. 5a).
+            self._stall = 0
+            return self.core.claim(ranked[0].name)
+        for t in ranked:
+            if all(a in resident for a in t.inputs):
+                self._stall = 0
+                return self.core.claim(t.name)
+        # Nothing memory-resident. Wait for prefetches unless the node has
+        # been starving: then force progress with the preferred task.
+        if self._inflight == 0 and self._stall >= self.STALL_TICKS:
+            self._stall = 0
+            return self.core.claim(ranked[0].name)
+        return None
+
+    def _dispatch(self, ctx: FilterContext) -> None:
+        while self._idle and self.core.ready_count:
+            resident = self._query_map(ctx)
+            # Keep upcoming tasks warm regardless of whether we dispatch.
+            for array in self.core.prefetch_plan(resident, self.nbytes):
+                ctx.write("to_storage", DataBuffer(
+                    {"op": "prefetch", "array": array}))
+            task = self._choose(resident)
+            if task is None:
+                break
+            subtasks = [task]
+            spare = len(self._idle) - 1
+            if task.splittable and spare > 0 and self.core.ready_count == 0:
+                subtasks = LocalSchedulerCore.split(task, spare + 1)
+                if len(subtasks) > 1:
+                    self._parents[task.name] = len(subtasks)
+            for sub in subtasks:
+                if not self._idle:
+                    # More subtasks than workers (split() may round up):
+                    # requeue the remainder as ready work.
+                    self.core.add_ready(sub)
+                    continue
+                worker = self._idle.pop(0)
+                self._inflight += 1
+                ctx.write("to_workers", DataBuffer(
+                    {"op": "task", "task": sub}, {"__dest__": worker}))
+
+    def _on_done(self, ctx: FilterContext, msg: dict) -> None:
+        self._inflight -= 1
+        parent = msg.get("parent")
+        if parent is not None:
+            self._parents[parent] -= 1
+            if self._parents[parent] == 0:
+                del self._parents[parent]
+                ctx.write("to_gsched", DataBuffer({"op": "done", "task": parent}))
+        else:
+            ctx.write("to_gsched", DataBuffer({"op": "done", "task": msg["task"]}))
+
+    def process(self, ctx: FilterContext) -> None:
+        while True:
+            try:
+                port, buf = ctx.read_any(
+                    ["in", "from_workers", "from_storage"],
+                    timeout=self.TICK_S if (self._idle and self.core.ready_count)
+                    else None,
+                )
+            except TimeoutError:
+                # Idle tick: count starvation, re-arm dropped prefetches.
+                self._stall += 1
+                if self._stall >= self.STALL_TICKS:
+                    self.core.reset_prefetch()
+                self._dispatch(ctx)
+                continue
+            if buf is END_OF_STREAM:
+                break
+            msg = buf.payload
+            if port == "in":
+                if msg["op"] == "shutdown":
+                    break
+                if msg["op"] == "gc":
+                    ctx.write("to_storage", DataBuffer(
+                        {"op": "delete", "array": msg["array"]}))
+                    continue
+                self.core.add_ready(msg["task"])
+            elif port == "from_storage":
+                pass  # wake: a block landed; just re-run dispatch
+            else:
+                if msg["op"] == "idle":
+                    self._idle.append(msg["inst"])
+                else:  # done
+                    self._on_done(ctx, msg)
+            self._dispatch(ctx)
+        # Wind down: workers are idle by construction (the global scheduler
+        # only announces shutdown once the DAG is complete).
+        for worker in range(self.workers):
+            ctx.write("to_workers", DataBuffer(
+                {"op": "shutdown"}, {"__dest__": worker}))
+        ctx.write("to_storage", DataBuffer({"op": "shutdown"}))
+
+
+class _GlobalSchedulerFilter(Filter):
+    """Walks the DAG, dispatching ready tasks to their assigned nodes.
+
+    With ``gc_arrays`` enabled, the scheduler also exercises the storage
+    layer's delete interface: once every consumer of an intermediate array
+    has completed, a garbage-collection message goes to every node (the
+    home drops memory + scratch file, consumers drop cached copies).
+    Initial arrays and terminal outputs are always kept.
+    """
+
+    inputs = ("in",)
+
+    def __init__(self, dag: TaskDAG, assignment: dict[str, int], n_nodes: int,
+                 *, gc_arrays: bool = False):
+        self.dag = dag
+        self.assignment = assignment
+        self.n_nodes = n_nodes
+        self.gc_arrays = gc_arrays
+        self.outputs = tuple(f"out_{i}" for i in range(n_nodes))
+        self._consumers_left: dict[str, int] = {}
+        if gc_arrays:
+            for t in dag.tasks.values():
+                for array in t.outputs:
+                    self._consumers_left[array] = len(dag.consumers_of(array))
+
+    def _send(self, ctx: FilterContext, task_name: str) -> None:
+        node = self.assignment[task_name]
+        ctx.write(f"out_{node}", DataBuffer(
+            {"op": "task", "task": self.dag.tasks[task_name]}))
+
+    def _collect(self, ctx: FilterContext, completed: str) -> None:
+        for array in self.dag.tasks[completed].inputs:
+            left = self._consumers_left.get(array)
+            if left is None:
+                continue  # initial array: never collected
+            left -= 1
+            self._consumers_left[array] = left
+            if left == 0:
+                for i in range(self.n_nodes):
+                    ctx.write(f"out_{i}", DataBuffer(
+                        {"op": "gc", "array": array}))
+
+    def process(self, ctx: FilterContext) -> None:
+        for name in sorted(self.dag.ready_tasks()):
+            self._send(ctx, name)
+        while not self.dag.done:
+            buf = ctx.read("in")
+            if buf is END_OF_STREAM:
+                raise SchedulingError(
+                    "local schedulers vanished before the DAG completed"
+                )
+            msg = buf.payload
+            for newly in self.dag.mark_complete(msg["task"]):
+                self._send(ctx, newly)
+            if self.gc_arrays:
+                self._collect(ctx, msg["task"])
+        for i in range(self.n_nodes):
+            ctx.write(f"out_{i}", DataBuffer({"op": "shutdown"}))
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunReport:
+    """What a run produced, beyond the output arrays themselves."""
+
+    wall_seconds: float
+    assignment: dict[str, int]
+    store_stats: dict[int, StoreStats]
+    stream_stats: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def total_loads(self) -> int:
+        return sum(s.loads for s in self.store_stats.values())
+
+    @property
+    def total_spills(self) -> int:
+        return sum(s.spills for s in self.store_stats.values())
+
+    @property
+    def total_remote_fetches(self) -> int:
+        return sum(s.remote_fetches for s in self.store_stats.values())
+
+
+class DOoCEngine:
+    """Out-of-core, multi-node (threaded) execution of DOoC programs."""
+
+    def __init__(
+        self,
+        *,
+        n_nodes: int = 1,
+        workers_per_node: int = 2,
+        io_filters_per_node: int = 1,
+        memory_budget_per_node: int = 256 * 2**20,
+        scratch_dir: "Optional[str | Path]" = None,
+        prefetch_depth: int = 2,
+        rng_seed: int = 0,
+        gc_arrays: bool = False,
+        scheduler_reorder: bool = True,
+    ):
+        if n_nodes < 1 or workers_per_node < 1 or io_filters_per_node < 1:
+            raise DoocError("n_nodes, workers and I/O filters must be >= 1")
+        self.n_nodes = n_nodes
+        self.workers_per_node = workers_per_node
+        self.io_filters_per_node = io_filters_per_node
+        self.memory_budget_per_node = memory_budget_per_node
+        self.prefetch_depth = prefetch_depth
+        self.gc_arrays = gc_arrays
+        self.scheduler_reorder = scheduler_reorder
+        self.rng = RngTree(rng_seed)
+        if scratch_dir is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="dooc-")
+            scratch_dir = self._tmp.name
+        self.scratch_root = Path(scratch_dir)
+        self.stores: dict[int, LocalStore] = {}
+        self._descs: dict[str, ArrayDesc] = {}
+        self._homes: dict[str, int] = {}
+
+    def node_scratch(self, node: int) -> Path:
+        path = self.scratch_root / f"node{node}"
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    # -- run ---------------------------------------------------------------------
+
+    def run(self, program: Program, *, timeout: float = 300.0) -> RunReport:
+        dag = program.build_dag()
+        self._descs = dict(program.arrays)
+        nbytes = {name: d.nbytes for name, d in self._descs.items()}
+
+        for name, home in program.initial_home.items():
+            if not 0 <= home < self.n_nodes:
+                raise DoocError(
+                    f"initial array {name!r} homed on node {home}, but the "
+                    f"engine has {self.n_nodes} nodes"
+                )
+
+        gsched = GlobalScheduler(dag, self.n_nodes,
+                                 array_homes=program.initial_home,
+                                 array_nbytes=nbytes)
+        assignment = gsched.assign_all()
+        self._homes = dict(gsched.array_homes)
+
+        # Seed initial data to scratch directories (None = file pre-exists).
+        for name, data in program.initial_data.items():
+            scratch = self.node_scratch(program.initial_home[name])
+            if data is None:
+                from repro.core.iofilter import array_path
+                if not array_path(scratch, name).exists():
+                    raise DoocError(
+                        f"initial array {name!r} declared from scratch but "
+                        f"no backing file exists on node "
+                        f"{program.initial_home[name]}"
+                    )
+                continue
+            write_array(scratch, self._descs[name], data)
+
+        # Per-node stores with the right registration per array.
+        self.stores = {}
+        directories = {}
+        for node in range(self.n_nodes):
+            store = LocalStore(node, self.memory_budget_per_node)
+            consumed_here = {
+                a
+                for t in program.tasks
+                if assignment[t.name] == node
+                for a in t.inputs
+            }
+            for name, desc in self._descs.items():
+                home = self._homes[name]
+                if home == node:
+                    if name in program.initial_data:
+                        store.register_on_disk(desc)
+                    else:
+                        store.create_array(desc)
+                elif name in consumed_here:
+                    store.register_remote(desc)
+            self.stores[node] = store
+            directories[node] = DirectoryClient(
+                node, self.n_nodes, self.rng.child("directory", node))
+
+        layout = self._build_layout(program, dag, assignment, directories, nbytes)
+        runtime = ThreadedRuntime(layout)
+        started = time.monotonic()
+        runtime.run(timeout=timeout)
+        wall = time.monotonic() - started
+        return RunReport(
+            wall_seconds=wall,
+            assignment=assignment,
+            store_stats={n: s.stats for n, s in self.stores.items()},
+            stream_stats=runtime.stream_stats(),
+        )
+
+    def _build_layout(self, program: Program, dag: TaskDAG,
+                      assignment: dict[str, int],
+                      directories: dict[int, DirectoryClient],
+                      nbytes: dict[str, int]) -> Layout:
+        n = self.n_nodes
+        layout = Layout(program.name)
+        layout.add_filter(
+            "gsched", lambda: _GlobalSchedulerFilter(
+                dag, assignment, n, gc_arrays=self.gc_arrays))
+        for node in range(n):
+            store = self.stores[node]
+            directory = directories[node]
+            scratch = self.node_scratch(node)
+            layout.add_filter(
+                f"storage@{node}",
+                lambda node=node, store=store, directory=directory: _StorageFilter(
+                    node, n, store, directory, self._descs),
+            )
+            layout.add_filter(
+                f"io@{node}",
+                lambda scratch=scratch: IOFilter(scratch),
+                instances=self.io_filters_per_node,
+                replicable=True,
+            )
+            layout.add_filter(
+                f"lsched@{node}",
+                lambda node=node: _LocalSchedulerFilter(
+                    node, self.workers_per_node, nbytes,
+                    prefetch_depth=self.prefetch_depth,
+                    reorder=self.scheduler_reorder),
+            )
+            layout.add_filter(
+                f"worker@{node}",
+                lambda: _WorkerFilter(self._descs),
+                instances=self.workers_per_node,
+                replicable=True,
+            )
+            # Control plane
+            layout.connect("gsched", f"out_{node}", f"lsched@{node}", "in",
+                           capacity=1024)
+            layout.connect(f"lsched@{node}", "to_gsched", "gsched", "in",
+                           capacity=1024)
+            layout.connect(f"lsched@{node}", "to_workers", f"worker@{node}", "in",
+                           policy=DistributionPolicy.DIRECTED, capacity=64)
+            layout.connect(f"worker@{node}", "to_lsched", f"lsched@{node}",
+                           "from_workers", capacity=64)
+            # Storage plane
+            layout.connect(f"worker@{node}", "to_storage", f"storage@{node}",
+                           "req", capacity=256)
+            layout.connect(f"lsched@{node}", "to_storage", f"storage@{node}",
+                           "req", capacity=256)
+            layout.connect(f"storage@{node}", "rep_workers", f"worker@{node}",
+                           "from_storage", policy=DistributionPolicy.DIRECTED,
+                           capacity=256)
+            layout.connect(f"storage@{node}", "rep_lsched", f"lsched@{node}",
+                           "from_storage", capacity=256)
+            layout.connect(f"storage@{node}", "io_cmd", f"io@{node}", "in",
+                           capacity=256)
+            layout.connect(f"io@{node}", "out", f"storage@{node}", "io_done",
+                           capacity=256)
+        # Peer-to-peer storage links ("complete peer-to-peer connections").
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    layout.connect(f"storage@{i}", f"peer_out_{j}",
+                                   f"storage@{j}", "peer_in", capacity=256)
+        return layout
+
+    # -- result access ----------------------------------------------------------------
+
+    def fetch(self, name: str) -> np.ndarray:
+        """Gather a (completed) array after a run."""
+        desc = self._descs.get(name)
+        if desc is None:
+            raise DoocError(f"unknown array {name!r}")
+        home = self._homes[name]
+        store = self.stores[home]
+        scratch = self.node_scratch(home)
+        parts = []
+        for b in desc.blocks():
+            data = store.peek_block(name, b)
+            if data is None:
+                if not store.block_on_disk(name, b):
+                    raise DoocError(
+                        f"block {b} of {name!r} was never produced"
+                    )
+                data = read_block(scratch, desc, b)
+            parts.append(np.asarray(data))
+        return np.concatenate(parts)

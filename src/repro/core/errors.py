@@ -1,0 +1,21 @@
+"""DOoC exception hierarchy."""
+
+
+class DoocError(RuntimeError):
+    """Base class for DOoC errors."""
+
+
+class StorageError(DoocError):
+    """Storage-layer protocol violation (bad interval, double release...)."""
+
+
+class ImmutabilityError(StorageError):
+    """Write-once semantics violated: a written range was written again."""
+
+
+class UnknownArrayError(StorageError):
+    """An operation referenced an array the storage layer has never seen."""
+
+
+class SchedulingError(DoocError):
+    """Task-graph or scheduler inconsistency (cycles, unknown producers...)."""

@@ -1,0 +1,79 @@
+"""The global scheduler: affinity-based task placement.
+
+"Tasks are sent to the compute nodes which host most of the data required
+to process them."  Placement walks the DAG in topological order; a task's
+outputs become homed on its assigned node, so affinity chains through the
+graph.  Ties are broken toward the least-loaded node (by assigned input
+bytes), then the lowest node index — both deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.dag import TaskDAG
+from repro.core.errors import SchedulingError
+
+
+class GlobalScheduler:
+    """Computes (and records) a task -> node assignment."""
+
+    def __init__(
+        self,
+        dag: TaskDAG,
+        n_nodes: int,
+        array_homes: Mapping[str, int],
+        array_nbytes: Mapping[str, int],
+    ):
+        if n_nodes < 1:
+            raise SchedulingError("need at least one node")
+        for array in dag.initial_arrays:
+            if array not in array_homes:
+                raise SchedulingError(f"initial array {array!r} has no home node")
+            if not 0 <= array_homes[array] < n_nodes:
+                raise SchedulingError(
+                    f"initial array {array!r} homed on invalid node "
+                    f"{array_homes[array]}"
+                )
+        self.dag = dag
+        self.n_nodes = n_nodes
+        self.array_homes: dict[str, int] = dict(array_homes)
+        self.array_nbytes = dict(array_nbytes)
+        self.assignment: dict[str, int] = {}
+        self._node_load: list[float] = [0.0] * n_nodes
+
+    def _nbytes(self, array: str) -> int:
+        size = self.array_nbytes.get(array)
+        if size is None:
+            raise SchedulingError(f"array {array!r} has no declared size")
+        return size
+
+    def assign_all(self) -> dict[str, int]:
+        """Place every task; returns {task_name: node}."""
+        for name in self.dag.topological_order():
+            self.assignment[name] = self._place(name)
+        return self.assignment
+
+    def _place(self, name: str) -> int:
+        t = self.dag.tasks[name]
+        affinity = [0.0] * self.n_nodes
+        for array in t.inputs:
+            home = self.array_homes.get(array)
+            if home is None:
+                raise SchedulingError(
+                    f"task {name!r}: input {array!r} has no home when placed "
+                    "(topological-order violation?)"
+                )
+            affinity[home] += self._nbytes(array)
+        best = max(affinity)
+        candidates = [n for n in range(self.n_nodes) if affinity[n] == best]
+        # Tie-break: least accumulated load, then lowest index.
+        node = min(candidates, key=lambda n: (self._node_load[n], n))
+        self._node_load[node] += sum(self._nbytes(a) for a in t.inputs) or 1.0
+        for array in t.outputs:
+            self.array_homes[array] = node
+        return node
+
+    def node_tasks(self, node: int) -> list[str]:
+        """Tasks assigned to ``node``, in topological order."""
+        return [n for n in self.dag.topological_order() if self.assignment.get(n) == node]

@@ -1,0 +1,87 @@
+"""Intervals: the unit of access to global arrays.
+
+A filter requests *intervals* of an array with read or write permission.
+Arrays are structured in blocks and an interval never spans blocks — "if
+one needs to access data that span across multiple blocks, it is required
+to use one interval per block".  :func:`intervals_for_range` builds the
+per-block interval list for an arbitrary element range.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.array import ArrayDesc
+from repro.core.errors import StorageError
+
+
+class Permission(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A contiguous element range within a single block of an array.
+
+    ``lo``/``hi`` are *global* element indices, half-open.
+    """
+
+    array: str
+    block: int
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.block < 0:
+            raise StorageError(f"negative block index {self.block}")
+        if not self.lo < self.hi:
+            raise StorageError(f"empty or inverted interval [{self.lo}, {self.hi})")
+
+    @property
+    def length(self) -> int:
+        return self.hi - self.lo
+
+    def validate_against(self, desc: ArrayDesc) -> None:
+        """Check this interval fits inside its block of ``desc``."""
+        if desc.name != self.array:
+            raise StorageError(
+                f"interval names array {self.array!r}, descriptor is {desc.name!r}"
+            )
+        blo, bhi = desc.block_bounds(self.block)
+        if self.lo < blo or self.hi > bhi:
+            raise StorageError(
+                f"interval [{self.lo}, {self.hi}) escapes block {self.block} "
+                f"of {self.array!r} (block spans [{blo}, {bhi}))"
+            )
+
+    def local_slice(self, desc: ArrayDesc) -> slice:
+        """Slice of the block buffer corresponding to this interval."""
+        blo, _ = desc.block_bounds(self.block)
+        return slice(self.lo - blo, self.hi - blo)
+
+
+def whole_block(desc: ArrayDesc, block: int) -> Interval:
+    """The interval covering all of one block."""
+    lo, hi = desc.block_bounds(block)
+    return Interval(desc.name, block, lo, hi)
+
+
+def whole_array(desc: ArrayDesc) -> list[Interval]:
+    """One interval per block, covering the array."""
+    return [whole_block(desc, b) for b in desc.blocks()]
+
+
+def intervals_for_range(desc: ArrayDesc, lo: int, hi: int) -> list[Interval]:
+    """Per-block intervals covering global element range [lo, hi)."""
+    if not 0 <= lo < hi <= desc.length:
+        raise StorageError(
+            f"range [{lo}, {hi}) outside array {desc.name!r} of length {desc.length}"
+        )
+    out: list[Interval] = []
+    first, last = desc.block_of(lo), desc.block_of(hi - 1)
+    for block in range(first, last + 1):
+        blo, bhi = desc.block_bounds(block)
+        out.append(Interval(desc.name, block, max(lo, blo), min(hi, bhi)))
+    return out

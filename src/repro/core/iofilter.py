@@ -1,0 +1,146 @@
+"""Scratch-directory block I/O.
+
+Each node's storage filter uses a scratch directory as its out-of-core
+backing store: one binary file per array, blocks at fixed offsets.
+``IOFilter`` (a DataCutter filter) performs the actual reads/writes so
+"the interactions with the file system [are] completely asynchronous" —
+the storage filter never blocks on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.array import ArrayDesc
+from repro.core.errors import StorageError
+from repro.datacutter.buffers import END_OF_STREAM, DataBuffer
+from repro.datacutter.filters import Filter, FilterContext
+
+_SUFFIX = ".arr"
+
+
+def array_path(scratch: Path, name: str) -> Path:
+    """File backing ``name`` (array names may contain '/' -> subdirs not
+    allowed; they are mangled to keep one flat directory)."""
+    safe = name.replace("/", "%2F").replace("\\", "%5C")
+    return Path(scratch) / f"{safe}{_SUFFIX}"
+
+
+def block_offset(desc: ArrayDesc, block: int) -> int:
+    """Byte offset of ``block`` within the array's backing file."""
+    desc.block_bounds(block)
+    return block * desc.block_elems * desc.itemsize
+
+
+def write_block(scratch: Path, desc: ArrayDesc, block: int, data: np.ndarray) -> None:
+    """Persist one block at its offset (creating/growing the file)."""
+    expected = desc.block_length(block)
+    if data.shape != (expected,):
+        raise StorageError(
+            f"block {block} of {desc.name!r} has length {expected}, "
+            f"got shape {data.shape}"
+        )
+    path = array_path(scratch, desc.name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    mode = "r+b" if path.exists() else "w+b"
+    with open(path, mode) as fh:
+        fh.seek(block_offset(desc, block))
+        fh.write(np.ascontiguousarray(data, dtype=desc.dtype).tobytes())
+
+
+def read_block(scratch: Path, desc: ArrayDesc, block: int) -> np.ndarray:
+    """Load one block from its offset."""
+    path = array_path(scratch, desc.name)
+    length = desc.block_length(block)
+    with open(path, "rb") as fh:
+        fh.seek(block_offset(desc, block))
+        raw = fh.read(length * desc.itemsize)
+    if len(raw) != length * desc.itemsize:
+        raise StorageError(
+            f"short read of block {block} of {desc.name!r} from {path}"
+        )
+    return np.frombuffer(raw, dtype=desc.dtype).copy()
+
+
+def write_array(scratch: Path, desc: ArrayDesc, data: np.ndarray) -> None:
+    """Persist a whole array (used to seed initial data)."""
+    if data.shape != (desc.length,):
+        raise StorageError(
+            f"array {desc.name!r} has length {desc.length}, got {data.shape}"
+        )
+    for b in desc.blocks():
+        lo, hi = desc.block_bounds(b)
+        write_block(scratch, desc, b, np.asarray(data[lo:hi], dtype=desc.dtype))
+
+
+def read_array(scratch: Path, desc: ArrayDesc) -> np.ndarray:
+    """Load a whole array from its backing file."""
+    return np.concatenate([read_block(scratch, desc, b) for b in desc.blocks()])
+
+
+def delete_array_file(scratch: Path, name: str) -> None:
+    path = array_path(scratch, name)
+    if path.exists():
+        os.unlink(path)
+
+
+def discover_arrays(scratch: Path) -> list[str]:
+    """Array names present in a scratch directory (startup scan).
+
+    Mirrors the paper's storage start-up: "the storage looks for files in
+    that directory and records the name of the arrays as well as their
+    sizes".  Sizes come from the registered descriptors; we return names.
+    """
+    out = []
+    root = Path(scratch)
+    if not root.exists():
+        return out
+    for path in sorted(root.glob(f"*{_SUFFIX}")):
+        out.append(path.name[: -len(_SUFFIX)].replace("%2F", "/").replace("%5C", "\\"))
+    return out
+
+
+class IOFilter(Filter):
+    """Executes load/store commands against a scratch directory.
+
+    Input buffers: ``{"op": "load"|"store", "desc": ArrayDesc, "block": int,
+    "data": ndarray (store only), "token": any}``.  Replies mirror the
+    command with ``data`` filled for loads.  Deploy "as many I/O filters as
+    is necessary to efficiently use the parallelism contained in the I/O
+    subsystem" — instances are stateless and replicable.
+    """
+
+    inputs = ("in",)
+    outputs = ("out",)
+
+    def __init__(self, scratch: Path):
+        self.scratch = Path(scratch)
+
+    def process(self, ctx: FilterContext) -> None:
+        while True:
+            buf = ctx.read("in")
+            if buf is END_OF_STREAM:
+                return
+            cmd = buf.payload
+            desc: ArrayDesc = cmd["desc"]
+            block: int = cmd["block"]
+            if cmd["op"] == "load":
+                data = read_block(self.scratch, desc, block)
+                ctx.write("out", DataBuffer(
+                    {"op": "loaded", "desc": desc, "block": block, "data": data,
+                     "token": cmd.get("token")}))
+            elif cmd["op"] == "store":
+                write_block(self.scratch, desc, block, cmd["data"])
+                ctx.write("out", DataBuffer(
+                    {"op": "stored", "desc": desc, "block": block,
+                     "token": cmd.get("token")}))
+            elif cmd["op"] == "unlink":
+                delete_array_file(self.scratch, desc.name)
+                ctx.write("out", DataBuffer(
+                    {"op": "unlinked", "desc": desc, "block": -1,
+                     "token": cmd.get("token")}))
+            else:
+                raise StorageError(f"unknown I/O op {cmd['op']!r}")

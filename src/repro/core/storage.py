@@ -1,0 +1,597 @@
+"""The per-node storage layer: a pure, effect-emitting state machine.
+
+This module implements the semantics of Section III-B:
+
+* arrays are **immutable**: a given element can be written once, and can be
+  read only after its writing interval is *released* — which removes race
+  conditions and the need for coherency protocols;
+* filters *request* intervals with read or write permission and *release*
+  them; for reads, data stays pinned until release (reference counting);
+* blocks whose reference count is zero may be **reclaimed** under memory
+  pressure in LRU order — dropped if a copy exists on disk (or on the
+  owning peer, for remotely fetched blocks), spilled to disk first
+  otherwise;
+* **prefetch** warms blocks ahead of use; loads and spills are asynchronous.
+
+The class is *pure*: every public method returns a list of
+:class:`Effect` records (``load``, ``spill``, ``drop``, ``fetch_remote``,
+``grant_read``, ``grant_write``) that the driver — the threaded storage
+filter, the DES testbed node, or a unit test — executes and answers via
+``on_loaded`` / ``on_spilled`` / ``on_remote_data``.  Purity is what lets
+the real engine and the simulator share one storage implementation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Literal, Optional
+
+import numpy as np
+
+from repro.core.array import ArrayDesc
+from repro.core.errors import ImmutabilityError, StorageError, UnknownArrayError
+from repro.core.interval import Interval, Permission
+
+__all__ = ["Effect", "Ticket", "LocalStore", "StoreStats"]
+
+
+@dataclass(frozen=True)
+class Effect:
+    """An action the driver must perform on behalf of the store."""
+
+    kind: Literal["load", "spill", "drop", "fetch_remote", "grant_read", "grant_write"]
+    array: str = ""
+    block: int = -1
+    data: Optional[np.ndarray] = None
+    ticket: Optional["Ticket"] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.ticket is not None:
+            return f"Effect({self.kind}, ticket={self.ticket.tid})"
+        return f"Effect({self.kind}, {self.array}[{self.block}])"
+
+
+@dataclass
+class Ticket:
+    """An outstanding interval request; doubles as the release token."""
+
+    tid: int
+    interval: Interval
+    permission: Permission
+    granted: bool = False
+    released: bool = False
+    data: Optional[np.ndarray] = None  # view into the block, set at grant
+    tag: Any = None  # opaque driver correlation slot
+
+
+@dataclass
+class StoreStats:
+    """Operational counters (used by experiments and tests)."""
+
+    loads: int = 0
+    spills: int = 0
+    drops: int = 0
+    remote_fetches: int = 0
+    read_hits: int = 0   # read grants served without waiting for I/O
+    read_waits: int = 0  # read grants that had to wait (load/seal/fetch)
+    bytes_loaded: int = 0
+    bytes_spilled: int = 0
+    loads_by_array: dict[str, int] = field(default_factory=dict)
+
+    def record_load(self, array: str, nbytes: int) -> None:
+        self.loads += 1
+        self.bytes_loaded += nbytes
+        self.loads_by_array[array] = self.loads_by_array.get(array, 0) + 1
+
+
+# Block residency states
+_ABSENT = "absent"
+_LOADING = "loading"
+_RESIDENT = "resident"
+_SPILLING = "spilling"
+_FETCHING = "fetching"
+
+
+@dataclass
+class _BlockState:
+    desc: ArrayDesc
+    block: int
+    status: str = _ABSENT
+    data: Optional[np.ndarray] = None
+    on_disk: bool = False
+    remote: bool = False           # home is another node; droppable when cached
+    sealed: bool = False           # every element written (or discovered on disk)
+    written: list[tuple[int, int]] = field(default_factory=list)  # merged, global idx
+    readers: int = 0
+    writers: int = 0
+    lru: int = 0
+    read_waiters: list[Ticket] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        return self.desc.block_nbytes(self.block)
+
+    @property
+    def pinned(self) -> bool:
+        return self.readers > 0 or self.writers > 0 or bool(self.read_waiters)
+
+    def covers(self, lo: int, hi: int) -> bool:
+        """Is [lo, hi) fully inside the written ranges?"""
+        for wlo, whi in self.written:
+            if wlo <= lo and hi <= whi:
+                return True
+        return False
+
+    def overlaps_written(self, lo: int, hi: int) -> bool:
+        return any(lo < whi and wlo < hi for wlo, whi in self.written)
+
+    def add_written(self, lo: int, hi: int) -> None:
+        """Merge [lo, hi) into the written set."""
+        spans = sorted(self.written + [(lo, hi)])
+        merged: list[tuple[int, int]] = []
+        for s in spans:
+            if merged and s[0] <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], s[1]))
+            else:
+                merged.append(s)
+        self.written = merged
+        blo, bhi = self.desc.block_bounds(self.block)
+        if self.written == [(blo, bhi)]:
+            self.sealed = True
+
+
+class LocalStore:
+    """Storage layer of one node. See module docstring for the contract."""
+
+    def __init__(self, node: int, memory_budget: int):
+        if memory_budget <= 0:
+            raise StorageError("memory budget must be positive")
+        self.node = node
+        self.budget = int(memory_budget)
+        self.in_use = 0
+        self.arrays: dict[str, ArrayDesc] = {}
+        self._remote_arrays: set[str] = set()
+        self._blocks: dict[tuple[str, int], _BlockState] = {}
+        self._clock = itertools.count(1)
+        self._tids = itertools.count(1)
+        self._write_tickets: dict[tuple[str, int], list[Ticket]] = {}
+        # FIFO of (needed_bytes, thunk) waiting for memory; thunk returns effects.
+        self._alloc_queue: deque[tuple[int, Any]] = deque()
+        self.stats = StoreStats()
+
+    # -- array registration ----------------------------------------------------
+
+    def create_array(self, desc: ArrayDesc) -> None:
+        """Declare a new, locally-homed, not-yet-written array."""
+        if desc.name in self.arrays:
+            raise StorageError(f"array {desc.name!r} already exists on node {self.node}")
+        self.arrays[desc.name] = desc
+
+    def register_on_disk(self, desc: ArrayDesc) -> None:
+        """Record an array discovered in the scratch directory at startup.
+
+        Its blocks are sealed and on disk — exactly what the paper's storage
+        does when it "looks for files in that directory and records the name
+        of the arrays as well as their sizes".
+        """
+        self.create_array(desc)
+        for b in desc.blocks():
+            st = self._state(desc.name, b)
+            st.on_disk = True
+            st.sealed = True
+            st.written = [desc.block_bounds(b)]
+
+    def register_remote(self, desc: ArrayDesc) -> None:
+        """Declare an array homed on another node (fetchable, cache-droppable)."""
+        if desc.name in self.arrays:
+            raise StorageError(f"array {desc.name!r} already exists on node {self.node}")
+        self.arrays[desc.name] = desc
+        self._remote_arrays.add(desc.name)
+
+    def delete_array(self, name: str) -> list[Effect]:
+        """Forget an array; its resident blocks are freed, disk copy dropped."""
+        desc = self._desc(name)
+        effects: list[Effect] = []
+        for b in desc.blocks():
+            st = self._blocks.get((name, b))
+            if st is None:
+                continue
+            if st.pinned or st.status in (_LOADING, _SPILLING, _FETCHING):
+                raise StorageError(
+                    f"cannot delete {name!r}: block {b} is in use on node {self.node}"
+                )
+            if st.data is not None:
+                self._free(st)
+            effects.append(Effect("drop", name, b))
+            del self._blocks[(name, b)]
+        del self.arrays[name]
+        self._remote_arrays.discard(name)
+        effects.extend(self._pump_allocs())
+        return effects
+
+    def has_array(self, name: str) -> bool:
+        return name in self.arrays
+
+    def is_remote(self, name: str) -> bool:
+        return name in self._remote_arrays
+
+    # -- requests ----------------------------------------------------------------
+
+    def request_read(self, interval: Interval) -> tuple[Ticket, list[Effect]]:
+        """Ask for read access; the grant arrives as a ``grant_read`` effect
+        (immediately in the returned list when possible)."""
+        desc = self._desc(interval.array)
+        interval.validate_against(desc)
+        ticket = Ticket(next(self._tids), interval, Permission.READ)
+        st = self._state(interval.array, interval.block)
+        effects = self._drive_read(st, ticket)
+        return ticket, effects
+
+    def request_write(self, interval: Interval) -> tuple[Ticket, list[Effect]]:
+        """Ask for write access to a never-written range."""
+        desc = self._desc(interval.array)
+        interval.validate_against(desc)
+        if interval.array in self._remote_arrays:
+            raise StorageError(
+                f"node {self.node} cannot write remote-homed array {interval.array!r}"
+            )
+        st = self._state(interval.array, interval.block)
+        if st.sealed or st.on_disk:
+            raise ImmutabilityError(
+                f"block {interval.block} of {interval.array!r} is sealed"
+            )
+        if st.overlaps_written(interval.lo, interval.hi):
+            raise ImmutabilityError(
+                f"range [{interval.lo}, {interval.hi}) of {interval.array!r} "
+                "overlaps an already-written range"
+            )
+        for other in self._outstanding_writes(interval.array, interval.block):
+            if interval.lo < other.interval.hi and other.interval.lo < interval.hi:
+                raise ImmutabilityError(
+                    f"range [{interval.lo}, {interval.hi}) of {interval.array!r} "
+                    "overlaps an outstanding write ticket"
+                )
+        ticket = Ticket(next(self._tids), interval, Permission.WRITE)
+        st.writers += 1
+        self._write_tickets.setdefault((interval.array, interval.block), []).append(ticket)
+        effects = self._alloc_then(st, lambda: self._grant_write(st, ticket))
+        return ticket, effects
+
+    def release(self, ticket: Ticket) -> list[Effect]:
+        """Return an interval. Write releases publish the data."""
+        if ticket.released:
+            raise StorageError(f"ticket {ticket.tid} released twice")
+        if not ticket.granted:
+            raise StorageError(f"ticket {ticket.tid} released before being granted")
+        ticket.released = True
+        iv = ticket.interval
+        st = self._state(iv.array, iv.block)
+        st.lru = next(self._clock)
+        effects: list[Effect] = []
+        if ticket.permission is Permission.READ:
+            if st.readers <= 0:
+                raise StorageError("reader refcount underflow")
+            st.readers -= 1
+        else:
+            st.writers -= 1
+            self._write_tickets[(iv.array, iv.block)].remove(ticket)
+            st.add_written(iv.lo, iv.hi)
+            effects.extend(self._wake_readers(st))
+        effects.extend(self._pump_allocs())
+        return effects
+
+    def abandon_pending_allocs(self) -> None:
+        """Drop queued allocations (shutdown: pending prefetches only).
+
+        Must not be called while read/write grants may still be queued — the
+        driver guarantees all task work completed first.
+        """
+        self._alloc_queue.clear()
+
+    def prefetch(self, interval: Interval) -> list[Effect]:
+        """Warm a block without pinning it (no grant is produced)."""
+        desc = self._desc(interval.array)
+        interval.validate_against(desc)
+        st = self._state(interval.array, interval.block)
+        if st.status == _RESIDENT or st.status in (_LOADING, _FETCHING):
+            return []
+        if st.status == _SPILLING:
+            return []  # will be dropped; re-request later
+        if st.on_disk:
+            return self._alloc_then(st, lambda: self._begin_load(st),
+                                    prefetch=True)
+        if st.desc.name in self._remote_arrays:
+            return self._alloc_then(st, lambda: self._begin_fetch(st),
+                                    prefetch=True)
+        return []  # not yet written anywhere: nothing to warm
+
+    # -- async completions ---------------------------------------------------------
+
+    def on_loaded(self, array: str, block: int, data: np.ndarray) -> list[Effect]:
+        """Driver finished a ``load`` effect."""
+        st = self._state(array, block)
+        if st.status != _LOADING:
+            raise StorageError(f"unexpected load completion for {array}[{block}]")
+        self._install(st, data)
+        self.stats.record_load(array, st.nbytes)
+        effects = self._wake_readers(st)
+        # The block just became evictable (if unpinned): queued allocations
+        # may now be satisfiable by reclaiming it.
+        effects.extend(self._pump_allocs())
+        return effects
+
+    def on_remote_data(self, array: str, block: int, data: np.ndarray) -> list[Effect]:
+        """Driver finished a ``fetch_remote`` effect."""
+        st = self._state(array, block)
+        if st.status != _FETCHING:
+            raise StorageError(f"unexpected fetch completion for {array}[{block}]")
+        self._install(st, data)
+        st.remote = True
+        self.stats.remote_fetches += 1
+        effects = self._wake_readers(st)
+        effects.extend(self._pump_allocs())
+        return effects
+
+    def on_spilled(self, array: str, block: int) -> list[Effect]:
+        """Driver finished a ``spill`` effect: the block is now on disk."""
+        st = self._state(array, block)
+        if st.status != _SPILLING:
+            raise StorageError(f"unexpected spill completion for {array}[{block}]")
+        st.on_disk = True
+        self.stats.spills += 1
+        self.stats.bytes_spilled += st.nbytes
+        if st.pinned:
+            # Someone requested it again while it was being written out;
+            # keep the resident copy.
+            st.status = _RESIDENT
+            return self._wake_readers(st)
+        self._free(st)
+        st.status = _ABSENT
+        effects = [Effect("drop", array, block)]
+        effects.extend(self._pump_allocs())
+        return effects
+
+    # -- introspection ---------------------------------------------------------------
+
+    def availability_map(self) -> dict[tuple[str, int], bool]:
+        """(array, block) -> is resident and readable right now.
+
+        This is the map the local scheduler queries "to know which data are
+        available in memory and which are not".
+        """
+        out = {}
+        for key, st in self._blocks.items():
+            out[key] = st.status == _RESIDENT and st.sealed
+        return out
+
+    def resident_arrays(self) -> set[str]:
+        """Arrays all of whose blocks are resident and sealed."""
+        out = set()
+        for name, desc in self.arrays.items():
+            if all(
+                (st := self._blocks.get((name, b))) is not None
+                and st.status == _RESIDENT
+                and st.sealed
+                for b in desc.blocks()
+            ):
+                out.add(name)
+        return out
+
+    @property
+    def headroom(self) -> int:
+        return self.budget - self.in_use
+
+    def peek_block(self, name: str, block: int) -> Optional[np.ndarray]:
+        """Resident sealed data of a block (read-only), else None.
+
+        For post-run inspection only — does not pin, touch LRU, or count as
+        a read.
+        """
+        st = self._blocks.get((name, block))
+        if st is None or st.data is None or not st.sealed:
+            return None
+        view = st.data[:]
+        view.flags.writeable = False
+        return view
+
+    def block_on_disk(self, name: str, block: int) -> bool:
+        st = self._blocks.get((name, block))
+        return bool(st is not None and st.on_disk)
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _outstanding_writes(self, array: str, block: int) -> list[Ticket]:
+        return self._write_tickets.get((array, block), [])
+
+    def _desc(self, name: str) -> ArrayDesc:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise UnknownArrayError(
+                f"array {name!r} unknown to node {self.node}"
+            ) from None
+
+    def _state(self, name: str, block: int) -> _BlockState:
+        desc = self._desc(name)
+        desc.block_bounds(block)  # bounds check
+        key = (name, block)
+        st = self._blocks.get(key)
+        if st is None:
+            st = _BlockState(desc=desc, block=block)
+            self._blocks[key] = st
+        return st
+
+    def _drive_read(self, st: _BlockState, ticket: Ticket) -> list[Effect]:
+        iv = ticket.interval
+        st.lru = next(self._clock)
+        if st.status == _RESIDENT and st.covers(iv.lo, iv.hi):
+            self.stats.read_hits += 1
+            return [self._grant_read(st, ticket)]
+        self.stats.read_waits += 1
+        st.read_waiters.append(ticket)
+        if st.status in (_LOADING, _FETCHING, _SPILLING):
+            return []  # grant will follow the in-flight transition
+        if st.status == _RESIDENT:
+            return []  # waiting for the range to be written & released
+        # ABSENT:
+        if st.on_disk:
+            return self._alloc_then(st, lambda: self._begin_load(st))
+        if st.desc.name in self._remote_arrays:
+            return self._alloc_then(st, lambda: self._begin_fetch(st))
+        # Local array not written yet: read-before-write blocks until the
+        # writer releases (immutable-object paradigm).
+        return []
+
+    def _grant_read(self, st: _BlockState, ticket: Ticket) -> Effect:
+        assert st.data is not None
+        view = st.data[ticket.interval.local_slice(st.desc)]
+        view.flags.writeable = False
+        ticket.data = view
+        ticket.granted = True
+        st.readers += 1
+        return Effect("grant_read", st.desc.name, st.block, ticket=ticket)
+
+    def _grant_write(self, st: _BlockState, ticket: Ticket) -> list[Effect]:
+        if st.data is None:
+            self._allocate_buffer(st)
+            st.status = _RESIDENT
+        ticket.data = st.data[ticket.interval.local_slice(st.desc)]
+        ticket.granted = True
+        return [Effect("grant_write", st.desc.name, st.block, ticket=ticket)]
+
+    def _wake_readers(self, st: _BlockState) -> list[Effect]:
+        effects: list[Effect] = []
+        still_waiting: list[Ticket] = []
+        for ticket in st.read_waiters:
+            if st.status == _RESIDENT and st.covers(ticket.interval.lo, ticket.interval.hi):
+                effects.append(self._grant_read(st, ticket))
+            else:
+                still_waiting.append(ticket)
+        st.read_waiters = still_waiting
+        return effects
+
+    # -- memory management -----------------------------------------------------------
+
+    def _allocate_buffer(self, st: _BlockState) -> None:
+        st.data = np.zeros(st.desc.block_length(st.block), dtype=st.desc.dtype)
+        self.in_use += st.nbytes
+
+    def _install(self, st: _BlockState, data: np.ndarray) -> None:
+        # Memory was reserved by _begin_load/_begin_fetch; only attach data.
+        # The delivered array becomes the block buffer: the driver must not
+        # mutate it afterwards.
+        expected = st.desc.block_length(st.block)
+        if data.shape != (expected,):
+            raise StorageError(
+                f"driver delivered shape {data.shape} for block of length {expected}"
+            )
+        st.data = np.ascontiguousarray(data, dtype=st.desc.dtype)
+        st.status = _RESIDENT
+        st.sealed = True
+        st.written = [st.desc.block_bounds(st.block)]
+
+    def _free(self, st: _BlockState) -> None:
+        assert st.data is not None
+        self.in_use -= st.nbytes
+        st.data = None
+
+    def _alloc_then(self, st: _BlockState, thunk, *, prefetch: bool = False) -> list[Effect]:
+        """Run ``thunk`` once ``st``'s block fits in memory.
+
+        Demand allocations (read/write grants) may evict (LRU reclaim) and
+        queue when memory is tight.  Prefetch allocations only ever use
+        *free* headroom and are dropped otherwise: the local scheduler
+        prefetches into "the amount of memory available" (Section III-C) —
+        an evicting prefetch would push out the most valuable block in the
+        store (the still-hot one whose successor task is about to become
+        ready), and a queued prefetch can deadlock a small demand behind a
+        block pinned by the demanding task itself.
+        """
+        need = st.nbytes
+        effects: list[Effect] = []
+        if prefetch:
+            if self.in_use + need <= self.budget:
+                result = thunk()
+                effects.extend([result] if isinstance(result, Effect) else result)
+            return effects
+        if self.in_use + need > self.budget:
+            effects.extend(self._reclaim(self.in_use + need - self.budget))
+        if self.in_use + need <= self.budget:
+            result = thunk()
+            effects.extend([result] if isinstance(result, Effect) else result)
+        else:
+            self._alloc_queue.append((need, thunk))
+        return effects
+
+    def _begin_load(self, st: _BlockState) -> list[Effect]:
+        self.in_use += st.nbytes  # reserve; the buffer arrives via on_loaded
+        st.status = _LOADING
+        return [Effect("load", st.desc.name, st.block)]
+
+    def _begin_fetch(self, st: _BlockState) -> list[Effect]:
+        self.in_use += st.nbytes  # reserve
+        st.status = _FETCHING
+        return [Effect("fetch_remote", st.desc.name, st.block)]
+
+    def _reclaim(self, want_bytes: int) -> list[Effect]:
+        """Free at least ``want_bytes`` if possible: LRU over unpinned blocks."""
+        effects: list[Effect] = []
+        candidates = sorted(
+            (
+                st
+                for st in self._blocks.values()
+                if st.status == _RESIDENT and not st.pinned and st.sealed
+            ),
+            key=lambda s: s.lru,
+        )
+        freed = 0
+        pending = 0  # bytes that will free once in-flight spills complete
+        for st in candidates:
+            if freed + pending >= want_bytes:
+                break
+            if st.on_disk or st.remote:
+                # A persistent copy exists (local disk, or the owning peer
+                # for cached remote blocks): dropping is safe.
+                freed += st.nbytes
+                self._free(st)
+                st.status = _ABSENT
+                self.stats.drops += 1
+                effects.append(Effect("drop", st.desc.name, st.block))
+            else:
+                # Dirty (never persisted): must spill before the memory is
+                # reusable; freeing happens in on_spilled.
+                st.status = _SPILLING
+                assert st.data is not None
+                pending += st.nbytes
+                effects.append(Effect("spill", st.desc.name, st.block, data=st.data))
+        return effects
+
+    def _pump_allocs(self) -> list[Effect]:
+        """Admit queued allocations as memory frees up.
+
+        FIFO order is preferred, but an entry that fits may overtake one
+        that does not: with strict FIFO, a large blocked allocation at the
+        head would starve a small one whose completion is the only way the
+        large one's memory ever frees (tasks pin their inputs while waiting
+        for output grants).
+        """
+        effects: list[Effect] = []
+        progress = True
+        while progress and self._alloc_queue:
+            progress = False
+            for i, (need, thunk) in enumerate(self._alloc_queue):
+                if self.in_use + need > self.budget:
+                    effects.extend(
+                        self._reclaim(self.in_use + need - self.budget))
+                if self.in_use + need <= self.budget:
+                    del self._alloc_queue[i]
+                    result = thunk()
+                    if isinstance(result, Effect):
+                        effects.append(result)
+                    else:
+                        effects.extend(result)
+                    progress = True
+                    break
+        return effects

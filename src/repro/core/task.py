@@ -1,0 +1,77 @@
+"""Tasks: the unit of computation scheduled by DOoC.
+
+Each computation "takes some data as an input and outputs some data; each
+data is a complete array that is (or will be) stored within the storage
+layer".  The dependency DAG is *derived* from these declarations
+(:mod:`repro.core.dag`) rather than specified by the programmer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.errors import SchedulingError
+
+#: A task body: fn(inputs: dict[str, np.ndarray], outputs: dict[str, np.ndarray])
+#: Inputs are read-only views of whole arrays; outputs are writable buffers
+#: the engine publishes on completion.
+TaskFn = Callable[[dict, dict], None]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """A declared task.
+
+    ``inputs`` / ``outputs`` name whole global arrays.  ``flops`` is a cost
+    hint (used by schedulers and the simulator).  ``splittable`` marks tasks
+    whose output range can be partitioned by the local scheduler "to expose
+    more parallelism when necessary" — the body is then called with an
+    ``outputs`` dict holding only a slice of each output array, plus
+    matching input row ranges supplied through ``split_ctx`` in metadata.
+    """
+
+    name: str
+    fn: Optional[TaskFn]
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    flops: float = 0.0
+    splittable: bool = False
+    meta: dict[str, Any] = field(default_factory=dict, hash=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchedulingError("task needs a non-empty name")
+        if not self.outputs:
+            raise SchedulingError(f"task {self.name!r} produces no output array")
+        if len(set(self.outputs)) != len(self.outputs):
+            raise SchedulingError(f"task {self.name!r} lists duplicate outputs")
+        if set(self.inputs) & set(self.outputs):
+            raise SchedulingError(
+                f"task {self.name!r} reads and writes the same array; arrays "
+                "are immutable — write a new array instead"
+            )
+        if self.flops < 0:
+            raise SchedulingError(f"task {self.name!r}: negative flops")
+
+
+def task(
+    name: str,
+    fn: Optional[TaskFn],
+    inputs: "list[str] | tuple[str, ...]" = (),
+    outputs: "list[str] | tuple[str, ...]" = (),
+    *,
+    flops: float = 0.0,
+    splittable: bool = False,
+    **meta: Any,
+) -> TaskSpec:
+    """Convenience constructor with list arguments."""
+    return TaskSpec(
+        name=name,
+        fn=fn,
+        inputs=tuple(inputs),
+        outputs=tuple(outputs),
+        flops=flops,
+        splittable=splittable,
+        meta=dict(meta),
+    )

@@ -1,0 +1,83 @@
+"""Untyped data buffers flowing along streams.
+
+DataCutter moves *untyped buffers* to minimize system overheads; we keep the
+same contract: a payload the middleware never interprets, plus a small
+metadata dict used for routing (hash distribution) and bookkeeping, plus a
+byte-size estimate used for flow-control accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+
+class _EndOfStream:
+    """Sentinel marking stream termination; singleton, falsy."""
+
+    _instance: Optional["_EndOfStream"] = None
+
+    def __new__(cls) -> "_EndOfStream":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "END_OF_STREAM"
+
+
+END_OF_STREAM = _EndOfStream()
+
+
+def _estimate_nbytes(payload: Any) -> int:
+    """Best-effort size estimate used by stream credit accounting."""
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode())
+    if isinstance(payload, (list, tuple)):
+        return sum(_estimate_nbytes(x) for x in payload)
+    if isinstance(payload, Mapping):
+        return sum(_estimate_nbytes(v) for v in payload.values())
+    return 64  # opaque object: charge a nominal cost
+
+
+class DataBuffer:
+    """One unit of data on a stream.
+
+    ``payload`` is opaque to the middleware.  ``meta`` carries routing keys
+    and application tags.  ``nbytes`` defaults to an estimate of the payload
+    size and is what bounded streams account against.
+    """
+
+    __slots__ = ("payload", "meta", "nbytes")
+
+    def __init__(
+        self,
+        payload: Any,
+        meta: Optional[dict[str, Any]] = None,
+        nbytes: Optional[int] = None,
+    ):
+        self.payload = payload
+        self.meta = dict(meta) if meta else {}
+        self.nbytes = _estimate_nbytes(payload) if nbytes is None else int(nbytes)
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+    def tagged(self, **meta: Any) -> "DataBuffer":
+        """A shallow copy with extra metadata (payload shared)."""
+        merged = dict(self.meta)
+        merged.update(meta)
+        return DataBuffer(self.payload, merged, nbytes=self.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = type(self.payload).__name__
+        return f"DataBuffer({kind}, {self.nbytes} B, meta={self.meta})"

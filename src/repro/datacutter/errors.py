@@ -1,0 +1,23 @@
+"""Exception hierarchy for the filter-stream middleware."""
+
+
+class DataCutterError(RuntimeError):
+    """Base class for all middleware errors."""
+
+
+class LayoutError(DataCutterError):
+    """The layout is malformed (unknown ports, duplicate filters, ...)."""
+
+
+class StreamClosedError(DataCutterError):
+    """A write was attempted on a stream whose consumers all finished."""
+
+
+class FilterError(DataCutterError):
+    """A filter raised; wraps the original exception with filter identity."""
+
+    def __init__(self, filter_name: str, instance: int, cause: BaseException):
+        super().__init__(f"filter {filter_name!r}#{instance} failed: {cause!r}")
+        self.filter_name = filter_name
+        self.instance = instance
+        self.cause = cause

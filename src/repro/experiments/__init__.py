@@ -1,0 +1,11 @@
+"""Experiment runners: one per table/figure of the paper's evaluation.
+
+Each module exposes ``run(...)`` returning structured results and
+``render(results)`` producing the text table/figure; the registry maps
+experiment ids (``table1`` ... ``fig7``) to runners so the benchmark
+harness and EXPERIMENTS.md generation share one code path.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,124 @@
+"""Beyond the paper's tables: its Section VI proposals, carried out.
+
+* ``colocated`` — Section VI-A: "SSD cards should be positioned on the
+  compute nodes themselves".  Reruns the Table IV sweep on that
+  configuration: local 2 GB/s per node, no shared-filesystem ceiling, no
+  cross-tenant jitter.
+* ``energy`` — Section VI-B: the energy-efficiency comparison between the
+  testbed (whose ten I/O nodes are always powered), the colocated
+  alternative, and Hopper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.ci.cases import TABLE1_CASES
+from repro.cluster.spec import carver_colocated_ssd
+from repro.experiments.report import format_table
+from repro.models.energy import (
+    EnergyPerIteration,
+    PowerModel,
+    hopper_energy,
+    testbed_energy,
+)
+from repro.testbed import TestbedParams, TestbedRow, run_testbed_spmv
+from repro.util.units import GB
+
+_COLOCATED_PARAMS = TestbedParams(jitter_cv0=0.0, jitter_cv_per_node=0.0)
+
+
+@dataclass
+class ColocatedRow:
+    shared: TestbedRow
+    colocated: TestbedRow
+
+
+def run_colocated(*, node_counts: Sequence[int] = (1, 4, 9, 16, 25, 36),
+                  seed: int = 1) -> list[ColocatedRow]:
+    rows = []
+    for nodes in node_counts:
+        shared = run_testbed_spmv(nodes, "interleaved", seed=seed)
+        colocated = run_testbed_spmv(
+            nodes, "interleaved", seed=seed,
+            spec=carver_colocated_ssd(compute_nodes=max(nodes, 1)),
+            params=_COLOCATED_PARAMS,
+        )
+        rows.append(ColocatedRow(shared=shared, colocated=colocated))
+    return rows
+
+
+def render_colocated(rows: list[ColocatedRow]) -> str:
+    body = []
+    for row in rows:
+        s, c = row.shared, row.colocated
+        body.append([
+            s.nodes,
+            f"{s.time_s:.0f}",
+            f"{c.time_s:.0f}",
+            f"{s.gflops:.2f}",
+            f"{c.gflops:.2f}",
+            f"{s.read_bw_bytes_per_s / GB:.1f}",
+            f"{c.read_bw_bytes_per_s / GB:.1f}",
+            f"{s.cpu_hours_per_iteration:.2f}",
+            f"{c.cpu_hours_per_iteration:.2f}",
+        ])
+    table = format_table(
+        ["nodes", "t shared", "t coloc", "GF/s shared", "GF/s coloc",
+         "BW shared", "BW coloc", "CPUh shared", "CPUh coloc"],
+        body,
+        title=("Extension (Section VI-A) - shared I/O nodes vs SSDs on the "
+               "compute nodes, interleaved policy"),
+    )
+    note = ("Colocated cards remove the aggregate ceiling: bandwidth and "
+            "GFlop/s scale linearly with nodes instead of plateauing at "
+            "~16 nodes.")
+    return table + "\n" + note
+
+
+@dataclass
+class EnergyComparison:
+    testbed: list[EnergyPerIteration]
+    colocated: list[EnergyPerIteration]
+    hopper: list[EnergyPerIteration]
+
+
+def run_energy(*, node_counts: Sequence[int] = (9, 36), seed: int = 1,
+               power: PowerModel = PowerModel()) -> EnergyComparison:
+    testbed_rows = [run_testbed_spmv(n, "interleaved", seed=seed)
+                    for n in node_counts]
+    colocated_rows = [
+        run_testbed_spmv(
+            n, "interleaved", seed=seed,
+            spec=carver_colocated_ssd(compute_nodes=max(n, 1)),
+            params=_COLOCATED_PARAMS,
+        )
+        for n in node_counts
+    ]
+    return EnergyComparison(
+        testbed=[testbed_energy(r, power=power) for r in testbed_rows],
+        colocated=[testbed_energy(r, power=power, colocated=True)
+                   for r in colocated_rows],
+        hopper=[hopper_energy(c, power=power) for c in TABLE1_CASES[1:3]],
+    )
+
+
+def render_energy(cmp: EnergyComparison) -> str:
+    body = [
+        [e.label, f"{e.powered_watts / 1000:.1f}", f"{e.seconds:.0f}",
+         f"{e.kwh:.3f}"]
+        for e in cmp.testbed + cmp.colocated + cmp.hopper
+    ]
+    table = format_table(
+        ["configuration", "power kW", "s/iter", "kWh/iter"],
+        body,
+        title="Extension (Section VI-B) - energy per iteration",
+    )
+    note = ("The separated design pays for ten always-on I/O nodes even at "
+            "small scales; colocating the cards cuts the testbed's energy "
+            "per iteration ~3x, to rough parity with Hopper's — while "
+            "using an order of magnitude fewer cores.  (An honest negative "
+            "result for the paper's energy conjecture: Hopper's short "
+            "iterations offset its large powered footprint.)")
+    return table + "\n" + note

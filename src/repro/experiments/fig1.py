@@ -1,0 +1,28 @@
+"""Fig. 1: the memory hierarchy (documentation figure)."""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+from repro.models.testbed import MEMORY_HIERARCHY
+from repro.util.units import format_bytes, format_rate
+
+
+def run():
+    return MEMORY_HIERARCHY
+
+
+def render(layers=MEMORY_HIERARCHY) -> str:
+    rows = [
+        [l.name, format_bytes(l.capacity_bytes), f"{l.latency_cycles:,.0f}",
+         format_rate(l.bandwidth_bytes_per_s)]
+        for l in layers
+    ]
+    table = format_table(
+        ["layer", "capacity", "latency (cycles)", "bandwidth"],
+        rows,
+        title="Fig. 1 - the memory hierarchy and the DRAM/disk latency gap",
+    )
+    note = ("SSDs sit inside the gap: ~30x the latency of DRAM instead of "
+            "the HDD's ~100x, at 10x the HDD's bandwidth - the opportunity "
+            "the paper builds on.")
+    return table + "\n" + note

@@ -1,0 +1,71 @@
+"""Fig. 6: runtime relative to the 20 GB/s optimal-I/O lower bound."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.experiments import table34
+from repro.experiments.paperdata import TABLE3, TABLE4
+from repro.experiments.report import ascii_chart, format_table
+from repro.models.testbed import TestbedWorkload, optimal_io_seconds
+from repro.testbed import TestbedParams
+
+
+@dataclass
+class Fig6Point:
+    nodes: int
+    policy: str
+    relative_time: float          # measured / optimal-I/O
+    published_relative_time: float
+
+
+def run(*, node_counts: Sequence[int] = table34.NODE_COUNTS, seed: int = 1,
+        params: Optional[TestbedParams] = None) -> list[Fig6Point]:
+    workload = TestbedWorkload()
+    points = []
+    for policy, published in (("simple", TABLE3), ("interleaved", TABLE4)):
+        rows = table34.run(policy, node_counts=node_counts, seed=seed,
+                           params=params)
+        for row in rows:
+            nodes = row.measured.nodes
+            opt = optimal_io_seconds(workload.total_bytes(nodes),
+                                     workload.iterations)
+            points.append(Fig6Point(
+                nodes=nodes,
+                policy=policy,
+                relative_time=row.measured.time_s / opt,
+                published_relative_time=published[nodes]["time_s"] / opt,
+            ))
+    return points
+
+
+def render(points: list[Fig6Point]) -> str:
+    body = [
+        [p.nodes, p.policy, f"{p.relative_time:.2f}",
+         f"{p.published_relative_time:.2f}"]
+        for p in points
+    ]
+    table = format_table(
+        ["nodes", "policy", "t/opt (ours)", "t/opt (paper)"],
+        body,
+        title=("Fig. 6 - runtime relative to the minimum time to read the "
+               "data at a sustained 20 GB/s"),
+    )
+    series = {
+        "simple (ours)": [(p.nodes, p.relative_time)
+                          for p in points if p.policy == "simple"],
+        "interleaved (ours)": [(p.nodes, p.relative_time)
+                               for p in points if p.policy == "interleaved"],
+        "paper simple": [(p.nodes, p.published_relative_time)
+                         for p in points if p.policy == "simple"],
+        "paper interleaved": [(p.nodes, p.published_relative_time)
+                              for p in points if p.policy == "interleaved"],
+    }
+    chart = ascii_chart(series, logy=True, xlabel="nodes",
+                        ylabel="t/opt",
+                        markers={"simple (ours)": "s",
+                                 "interleaved (ours)": "i",
+                                 "paper simple": "S",
+                                 "paper interleaved": "I"})
+    return table + "\n\n" + chart

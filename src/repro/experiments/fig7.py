@@ -1,0 +1,86 @@
+"""Fig. 7: CPU-hour cost per iteration — SSD testbed vs MFDn on Hopper.
+
+Includes the "star": the 3.50 TB matrix re-run on 9 nodes (the best
+I/O-bandwidth-per-node point), which undercuts the comparable Hopper run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.ci.cases import TABLE1_CASES
+from repro.experiments.paperdata import STAR_RUN
+from repro.experiments.report import ascii_chart, format_table
+from repro.models.mfdn_hopper import MFDnHopperModel
+from repro.testbed import TestbedParams, run_testbed_spmv
+
+
+@dataclass
+class Fig7Result:
+    #: (matrix dimension, CPU-hours/iter) for the testbed series
+    testbed_points: list[tuple[float, float]]
+    #: (matrix dimension, CPU-hours/iter) for the Hopper (model) series
+    hopper_points: list[tuple[float, float]]
+    star_dimension: float
+    star_cpu_hours: float
+    published_star_cpu_hours: float
+    #: the headline comparison: star vs test4560 on Hopper
+    star_saving_vs_hopper: float
+
+
+def run(*, node_counts: Sequence[int] = (1, 4, 9, 16, 25, 36), seed: int = 1,
+        params: Optional[TestbedParams] = None) -> Fig7Result:
+    testbed_points = []
+    for nodes in node_counts:
+        row = run_testbed_spmv(nodes, "interleaved", seed=seed,
+                               params=params or TestbedParams())
+        testbed_points.append((float(row.dimension), row.cpu_hours_per_iteration))
+    model = MFDnHopperModel()
+    hopper_points = [
+        (float(case.published_dimension),
+         model.table2_row(case)["cpu_hours_per_iteration"])
+        for case in TABLE1_CASES
+    ]
+    star = run_testbed_spmv(9, "interleaved", seed=seed, oversubscribe=4,
+                            params=params or TestbedParams())
+    hopper_4560 = model.table2_row(TABLE1_CASES[2])["cpu_hours_per_iteration"]
+    return Fig7Result(
+        testbed_points=testbed_points,
+        hopper_points=hopper_points,
+        star_dimension=float(star.dimension),
+        star_cpu_hours=star.cpu_hours_per_iteration,
+        published_star_cpu_hours=STAR_RUN["cpu_hours_per_iteration"],
+        star_saving_vs_hopper=1.0 - star.cpu_hours_per_iteration / hopper_4560,
+    )
+
+
+def render(result: Fig7Result) -> str:
+    rows = []
+    for dim, cpuh in result.testbed_points:
+        rows.append([f"{dim / 1e6:.0f}M", "SSD testbed", f"{cpuh:.2f}"])
+    for dim, cpuh in result.hopper_points:
+        rows.append([f"{dim / 1e6:.0f}M", "Hopper (model)", f"{cpuh:.2f}"])
+    rows.append([f"{result.star_dimension / 1e6:.0f}M", "SSD 9-node star",
+                 f"{result.star_cpu_hours:.2f}"])
+    table = format_table(["dimension", "series", "CPU-h/iter"], rows,
+                         title="Fig. 7 - CPU-hour cost of one iteration")
+    chart = ascii_chart(
+        {
+            "testbed": result.testbed_points,
+            "hopper": result.hopper_points,
+            "star": [(result.star_dimension, result.star_cpu_hours)],
+        },
+        logy=True,
+        xlabel="matrix dimension",
+        ylabel="CPUh/it",
+        markers={"testbed": "t", "hopper": "h", "star": "*"},
+    )
+    saving = 100 * result.star_saving_vs_hopper
+    verdict = (
+        f"9-node 3.5TB star: {result.star_cpu_hours:.2f} CPU-h/iter "
+        f"(paper {result.published_star_cpu_hours:.2f}); "
+        f"{saving:.0f}% below the comparable Hopper run "
+        "(paper reports 32%)"
+    )
+    return table + "\n\n" + chart + "\n" + verdict

@@ -1,0 +1,67 @@
+"""Published values from the paper, for paper-vs-measured comparisons.
+
+Transcribed from the tables of Zhou et al., ICPP 2012.  Units follow the
+paper: seconds, Gflop/s, GB/s, CPU-hours.
+"""
+
+from __future__ import annotations
+
+#: Table I — 10B matrix characteristics per (Nmax, Mj).
+TABLE1 = {
+    "test276": {"nmax": 7, "mj": 0, "dimension": 4.66e7, "nnz": 2.81e10,
+                "processors": 276, "v_local_mb": 8.8, "h_local_mb": 880},
+    "test1128": {"nmax": 8, "mj": 1, "dimension": 1.60e8, "nnz": 1.24e11,
+                 "processors": 1128, "v_local_mb": 13.6, "h_local_mb": 880},
+    "test4560": {"nmax": 9, "mj": 2, "dimension": 4.82e8, "nnz": 4.62e11,
+                 "processors": 4560, "v_local_mb": 20.4, "h_local_mb": 800},
+    "test18336": {"nmax": 10, "mj": 3, "dimension": 1.30e9, "nnz": 1.51e12,
+                  "processors": 18336, "v_local_mb": 27.2, "h_local_mb": 750},
+}
+
+#: Table II — MFDn on Hopper, 99 Lanczos iterations.
+TABLE2 = {
+    "test276": {"t_total_s": 244, "comm_fraction": 0.34, "cpu_hours_per_iteration": 0.19},
+    "test1128": {"t_total_s": 543, "comm_fraction": 0.60, "cpu_hours_per_iteration": 1.72},
+    "test4560": {"t_total_s": 759, "comm_fraction": 0.67, "cpu_hours_per_iteration": 9.70},
+    "test18336": {"t_total_s": 1870, "comm_fraction": 0.86, "cpu_hours_per_iteration": 96.2},
+}
+
+#: Table III — simple scheduling policy on the SSD testbed (4 iterations).
+TABLE3 = {
+    1: {"dimension_m": 50, "nnz_b": 12.8, "size_tb": 0.10, "time_s": 290,
+        "gflops": 0.35, "read_bw_gbs": 1.5, "non_overlapped": 0.13},
+    4: {"dimension_m": 100, "nnz_b": 51.2, "size_tb": 0.39, "time_s": 330,
+        "gflops": 1.24, "read_bw_gbs": 5.7, "non_overlapped": 0.19},
+    9: {"dimension_m": 150, "nnz_b": 115, "size_tb": 0.88, "time_s": 384,
+        "gflops": 2.40, "read_bw_gbs": 12.8, "non_overlapped": 0.30},
+    16: {"dimension_m": 200, "nnz_b": 205, "size_tb": 1.56, "time_s": 509,
+         "gflops": 3.22, "read_bw_gbs": 18.7, "non_overlapped": 0.36},
+    25: {"dimension_m": 250, "nnz_b": 320, "size_tb": 2.43, "time_s": 791,
+         "gflops": 3.23, "read_bw_gbs": 17.9, "non_overlapped": 0.32},
+    36: {"dimension_m": 300, "nnz_b": 460, "size_tb": 3.50, "time_s": 1172,
+         "gflops": 3.15, "read_bw_gbs": 18.3, "non_overlapped": 0.36},
+}
+
+#: Table IV — intra-iteration interleaving + per-node aggregation.
+TABLE4 = {
+    1: {"time_s": 293, "gflops": 0.35, "read_bw_gbs": 1.4,
+        "non_overlapped": 0.00, "cpu_hours_per_iteration": 0.16},
+    4: {"time_s": 335, "gflops": 1.22, "read_bw_gbs": 5.8,
+        "non_overlapped": 0.13, "cpu_hours_per_iteration": 0.74},
+    9: {"time_s": 336, "gflops": 2.74, "read_bw_gbs": 12.7,
+        "non_overlapped": 0.11, "cpu_hours_per_iteration": 1.68},
+    16: {"time_s": 432, "gflops": 3.79, "read_bw_gbs": 18.2,
+         "non_overlapped": 0.14, "cpu_hours_per_iteration": 3.84},
+    25: {"time_s": 644, "gflops": 3.97, "read_bw_gbs": 17.8,
+         "non_overlapped": 0.08, "cpu_hours_per_iteration": 8.95},
+    36: {"time_s": 910, "gflops": 4.05, "read_bw_gbs": 18.5,
+         "non_overlapped": 0.10, "cpu_hours_per_iteration": 18.20},
+}
+
+#: Fig. 7's "star": the 3.50 TB matrix on 9 nodes.
+STAR_RUN = {"nodes": 9, "oversubscribe": 4, "time_s": 1318,
+            "cpu_hours_per_iteration": 6.59, "read_bw_gbs": 12.5}
+
+#: Fig. 5 load counts (per node, 3 sub-matrices, memory for one).
+FIG5 = {"loads_first_iteration": 3, "loads_subsequent_iterations": 2,
+        "regular_loads_per_iteration": 3}

@@ -1,0 +1,52 @@
+"""Experiment registry: id -> (run, render)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.experiments import (
+    extensions,
+    fig1,
+    fig34,
+    fig5,
+    fig6,
+    fig7,
+    table1,
+    table2,
+    table34,
+)
+
+
+def _run_table3(**kw: Any):
+    return table34.run("simple", **kw)
+
+
+def _run_table4(**kw: Any):
+    return table34.run("interleaved", **kw)
+
+
+EXPERIMENTS: dict[str, tuple[Callable[..., Any], Callable[[Any], str]]] = {
+    "fig1": (fig1.run, fig1.render),
+    "table1": (table1.run, table1.render),
+    "table2": (table2.run, table2.render),
+    "table3": (_run_table3, lambda rows: table34.render(rows, "simple")),
+    "table4": (_run_table4, lambda rows: table34.render(rows, "interleaved")),
+    "fig34": (fig34.run, fig34.render),
+    "fig5": (fig5.run, fig5.render),
+    "fig6": (fig6.run, fig6.render),
+    "fig7": (fig7.run, fig7.render),
+    # Section VI future work, implemented as extensions:
+    "colocated": (extensions.run_colocated, extensions.render_colocated),
+    "energy": (extensions.run_energy, extensions.render_energy),
+}
+
+
+def run_experiment(exp_id: str, **kwargs: Any) -> tuple[Any, str]:
+    """Run one experiment; returns (results, rendered text)."""
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; have {sorted(EXPERIMENTS)}"
+        )
+    run, render = EXPERIMENTS[exp_id]
+    results = run(**kwargs)
+    return results, render(results)

@@ -1,0 +1,102 @@
+"""Text rendering: tables with paper-vs-measured columns, ASCII charts."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 *, title: Optional[str] = None) -> str:
+    """A fixed-width text table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def ratio(measured: float, published: float) -> str:
+    """Render measured/published as a compact ratio string."""
+    if published == 0:
+        return "n/a" if measured == 0 else "inf"
+    return f"{measured / published:.2f}x"
+
+
+def ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    logy: bool = False,
+    xlabel: str = "",
+    ylabel: str = "",
+    markers: Optional[dict[str, str]] = None,
+) -> str:
+    """A minimal ASCII scatter/line chart for Figs. 6 and 7.
+
+    ``series`` maps a label to (x, y) points; ``markers`` assigns each
+    series a single glyph (defaults to 1st letter of the label).
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if logy and min(ys) <= 0:
+        raise ValueError("log-scale chart needs positive y values")
+    y_map = (lambda v: math.log10(v)) if logy else (lambda v: v)
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = y_map(min(ys)), y_map(max(ys))
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = markers or {}
+    for label, pts in series.items():
+        glyph = glyphs.get(label, label[:1] or "?")
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y_map(y) - y_lo) / y_span * (height - 1))
+            grid[row][col] = glyph
+    lines = []
+    top = f"{(10 ** y_hi if logy else y_hi):.3g}"
+    bottom = f"{(10 ** y_lo if logy else y_lo):.3g}"
+    margin = max(len(top), len(bottom), len(ylabel)) + 1
+    for r, row in enumerate(grid):
+        prefix = ""
+        if r == 0:
+            prefix = top
+        elif r == height - 1:
+            prefix = bottom
+        elif r == height // 2 and ylabel:
+            prefix = ylabel
+        lines.append(prefix.rjust(margin) + "|" + "".join(row))
+    lines.append(" " * margin + "+" + "-" * width)
+    xaxis = f"{x_lo:.3g}".ljust(width - 10) + f"{x_hi:.3g}"
+    lines.append(" " * (margin + 1) + xaxis + ("  " + xlabel if xlabel else ""))
+    legend = "   ".join(
+        f"{glyphs.get(label, label[:1])} = {label}" for label in series
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Table II: in-core MFDn on Hopper (modelled), vs published."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ci.cases import TABLE1_CASES
+from repro.experiments.paperdata import TABLE2
+from repro.experiments.report import format_table, ratio
+from repro.models.mfdn_hopper import MFDnHopperModel
+
+
+@dataclass
+class Table2Row:
+    name: str
+    processors: int
+    t_total_s: float
+    published_t_total_s: float
+    comm_fraction: float
+    published_comm_fraction: float
+    cpu_hours_per_iteration: float
+    published_cpu_hours: float
+
+
+def run(*, iterations: int = 99) -> list[Table2Row]:
+    model = MFDnHopperModel()
+    rows = []
+    for case in TABLE1_CASES:
+        modelled = model.table2_row(case, iterations=iterations)
+        pub = TABLE2[case.name]
+        rows.append(Table2Row(
+            name=case.name,
+            processors=case.published_processors,
+            t_total_s=modelled["t_total_s"],
+            published_t_total_s=pub["t_total_s"],
+            comm_fraction=modelled["comm_fraction"],
+            published_comm_fraction=pub["comm_fraction"],
+            cpu_hours_per_iteration=modelled["cpu_hours_per_iteration"],
+            published_cpu_hours=pub["cpu_hours_per_iteration"],
+        ))
+    return rows
+
+
+def render(rows: list[Table2Row]) -> str:
+    return format_table(
+        ["case", "np", "t_total (ours)", "t_total (paper)", "ratio",
+         "comm% (ours)", "comm% (paper)", "CPUh/iter (ours)",
+         "CPUh/iter (paper)"],
+        [
+            [
+                r.name,
+                r.processors,
+                f"{r.t_total_s:.0f}",
+                f"{r.published_t_total_s:.0f}",
+                ratio(r.t_total_s, r.published_t_total_s),
+                f"{100 * r.comm_fraction:.0f}%",
+                f"{100 * r.published_comm_fraction:.0f}%",
+                f"{r.cpu_hours_per_iteration:.2f}",
+                f"{r.published_cpu_hours:.2f}",
+            ]
+            for r in rows
+        ],
+        title="Table II - 99 Lanczos iterations of MFDn on Hopper (model)",
+    )

@@ -1,0 +1,64 @@
+"""Tables III and IV: the SSD-testbed sweeps under both policies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.experiments.paperdata import TABLE3, TABLE4
+from repro.experiments.report import format_table, ratio
+from repro.testbed import TestbedParams, TestbedRow, run_testbed_spmv
+from repro.util.units import GB
+
+NODE_COUNTS = (1, 4, 9, 16, 25, 36)
+
+
+@dataclass
+class SweepRow:
+    measured: TestbedRow
+    published: dict
+
+
+def run(policy: str, *, node_counts: Sequence[int] = NODE_COUNTS,
+        seed: int = 1, params: Optional[TestbedParams] = None) -> list[SweepRow]:
+    """Run the sweep for one policy (Table III: simple, IV: interleaved)."""
+    published = TABLE3 if policy == "simple" else TABLE4
+    rows = []
+    for nodes in node_counts:
+        measured = run_testbed_spmv(
+            nodes, policy, seed=seed,
+            params=params or TestbedParams(),
+        )
+        rows.append(SweepRow(measured=measured, published=published[nodes]))
+    return rows
+
+
+def render(rows: list[SweepRow], policy: str) -> str:
+    title = (
+        "Table III - SSD testbed, simple scheduling policy"
+        if policy == "simple"
+        else "Table IV - SSD testbed, intra-iteration interleaving + "
+        "per-node aggregation"
+    )
+    headers = ["nodes", "dim", "size TB", "t (ours)", "t (paper)", "t ratio",
+               "GF/s (ours)", "GF/s (paper)", "BW (ours)", "BW (paper)",
+               "non-ovl (ours)", "non-ovl (paper)", "CPUh/it"]
+    body = []
+    for row in rows:
+        m, p = row.measured, row.published
+        body.append([
+            m.nodes,
+            f"{m.dimension / 1e6:.0f}M",
+            f"{m.size_bytes / 1e12:.2f}",
+            f"{m.time_s:.0f}",
+            f"{p['time_s']:.0f}",
+            ratio(m.time_s, p["time_s"]),
+            f"{m.gflops:.2f}",
+            f"{p['gflops']:.2f}",
+            f"{m.read_bw_bytes_per_s / GB:.1f}",
+            f"{p['read_bw_gbs']:.1f}",
+            f"{100 * m.non_overlapped_fraction:.0f}%",
+            f"{100 * p['non_overlapped']:.0f}%",
+            f"{m.cpu_hours_per_iteration:.2f}",
+        ])
+    return format_table(headers, body, title=title)

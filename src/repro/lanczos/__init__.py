@@ -1,0 +1,23 @@
+"""Lanczos eigensolvers: the iterative method that motivates the paper.
+
+MFDn seeks the lowest eigenvalues of the CI Hamiltonian with the Lanczos
+algorithm, whose cost is "dominated by the associated sparse matrix vector
+multiplications and (to a smaller extent) orthonormalization of Lanczos
+vectors" (Section II).
+
+* :mod:`repro.lanczos.lanczos` — in-core Lanczos with full
+  reorthogonalization and Ritz-value extraction;
+* :mod:`repro.lanczos.ooc` — out-of-core Lanczos: each iteration's SpMV
+  runs as a DOoC program over blocked matrix files, with the (small)
+  tridiagonal bookkeeping in core — the paper's envisioned MFDn-on-DOoC
+  structure ("our out-of-core code does not implement the full Lanczos
+  algorithm required for MFDn ... but SpMV computations account for the
+  major part").
+"""
+
+from repro.lanczos.basis import DiskBasis, InMemoryBasis
+from repro.lanczos.lanczos import LanczosResult, lanczos
+from repro.lanczos.ooc import OutOfCoreLanczos
+
+__all__ = ["lanczos", "LanczosResult", "OutOfCoreLanczos",
+           "InMemoryBasis", "DiskBasis"]

@@ -1,0 +1,25 @@
+"""Calibrated analytic performance models.
+
+* :mod:`repro.models.mfdn_hopper` — in-core MFDn on Hopper (Table II): a
+  compute term from published machine/matrix parameters and a two-constant
+  communication term calibrated on the published rows (clearly labelled a
+  model, per DESIGN.md §5);
+* :mod:`repro.models.testbed` — the SSD-testbed workload constants of
+  Section V, the optimal-I/O lower bound used as Fig. 6's denominator, and
+  the memory-hierarchy data behind Fig. 1.
+"""
+
+from repro.models.mfdn_hopper import HopperModelParams, MFDnHopperModel
+from repro.models.testbed import (
+    MEMORY_HIERARCHY,
+    TestbedWorkload,
+    optimal_io_seconds,
+)
+
+__all__ = [
+    "MFDnHopperModel",
+    "HopperModelParams",
+    "TestbedWorkload",
+    "optimal_io_seconds",
+    "MEMORY_HIERARCHY",
+]

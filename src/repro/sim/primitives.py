@@ -1,0 +1,216 @@
+"""Synchronization and capacity primitives for the DES kernel.
+
+All primitives are strictly FIFO so simulations are deterministic and fair,
+matching the paper's assumption that storage/scheduler queues serve requests
+in arrival order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.sim.kernel import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Mutex", "Store", "Container", "Barrier"]
+
+
+class _Request(Event):
+    """Event handed to a resource acquirer; usable as a release token."""
+
+    __slots__ = ("resource", "amount")
+
+    def __init__(self, env: Environment, resource: "Resource", amount: int):
+        super().__init__(env)
+        self.resource = resource
+        self.amount = amount
+
+    def release(self) -> None:
+        self.resource.release(self)
+
+    # Allow ``with (yield res.request()) ...``-free manual style while still
+    # supporting context-manager use inside generators.
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class Resource:
+    """A counted resource with FIFO admission (e.g. CPU cores, I/O slots)."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiting: Deque[_Request] = deque()
+        self._granted: set[int] = set()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self, amount: int = 1) -> _Request:
+        """Return an event that fires when ``amount`` units are granted."""
+        if amount < 1 or amount > self.capacity:
+            raise ValueError(f"request of {amount} on capacity {self.capacity}")
+        req = _Request(self.env, self, amount)
+        self._waiting.append(req)
+        self._grant()
+        return req
+
+    def release(self, request: _Request) -> None:
+        """Return units previously granted to ``request``."""
+        if id(request) not in self._granted:
+            raise SimulationError("release of a request that was never granted")
+        self._granted.discard(id(request))
+        self.in_use -= request.amount
+        self._grant()
+
+    def _grant(self) -> None:
+        # Strict FIFO: never lets a small request jump a blocked large one.
+        while self._waiting and self._waiting[0].amount <= self.available:
+            req = self._waiting.popleft()
+            self.in_use += req.amount
+            self._granted.add(id(req))
+            req.succeed(req)
+
+
+class Mutex(Resource):
+    """Capacity-1 resource; a readable name for critical sections."""
+
+    def __init__(self, env: Environment):
+        super().__init__(env, capacity=1)
+
+
+class Store:
+    """An unbounded-or-bounded FIFO mailbox of Python objects."""
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be None or >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Event firing once the item has been accepted."""
+        ev = Event(self.env)
+        self._putters.append((ev, item))
+        self._settle()
+        return ev
+
+    def get(self) -> Event:
+        """Event firing with the oldest item."""
+        ev = Event(self.env)
+        self._getters.append(ev)
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and (self.capacity is None or len(self.items) < self.capacity):
+                ev, item = self._putters.popleft()
+                self.items.append(item)
+                ev.succeed()
+                progress = True
+            while self._getters and self.items:
+                self._getters.popleft().succeed(self.items.popleft())
+                progress = True
+
+
+class Container:
+    """A continuous-level tank (e.g. bytes of free DRAM)."""
+
+    def __init__(self, env: Environment, capacity: float, init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init outside [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self.level = init
+        self._getters: Deque[tuple[Event, float]] = deque()
+        self._putters: Deque[tuple[Event, float]] = deque()
+
+    def put(self, amount: float) -> Event:
+        """Fires when ``amount`` fits below capacity."""
+        if amount <= 0:
+            raise ValueError("put amount must be positive")
+        if amount > self.capacity:
+            raise ValueError("put amount exceeds total capacity")
+        ev = Event(self.env)
+        self._putters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Fires when ``amount`` can be drawn from the level."""
+        if amount <= 0:
+            raise ValueError("get amount must be positive")
+        if amount > self.capacity:
+            raise ValueError("get amount exceeds total capacity")
+        ev = Event(self.env)
+        self._getters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters and self.level + self._putters[0][1] <= self.capacity:
+                ev, amount = self._putters.popleft()
+                self.level += amount
+                ev.succeed()
+                progress = True
+            if self._getters and self._getters[0][1] <= self.level:
+                ev, amount = self._getters.popleft()
+                self.level -= amount
+                ev.succeed()
+                progress = True
+
+
+class Barrier:
+    """A reusable N-party barrier (models the paper's global syncs)."""
+
+    def __init__(self, env: Environment, parties: int,
+                 on_release: Optional[Callable[[int], None]] = None):
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        self.env = env
+        self.parties = parties
+        self.generation = 0
+        self._arrived: list[Event] = []
+        self._on_release = on_release
+
+    @property
+    def waiting(self) -> int:
+        return len(self._arrived)
+
+    def wait(self) -> Event:
+        """Event that fires (with the generation number) when all arrive."""
+        ev = Event(self.env)
+        self._arrived.append(ev)
+        if len(self._arrived) == self.parties:
+            generation, self.generation = self.generation, self.generation + 1
+            arrived, self._arrived = self._arrived, []
+            if self._on_release is not None:
+                self._on_release(generation)
+            for waiter in arrived:
+                waiter.succeed(generation)
+        return ev

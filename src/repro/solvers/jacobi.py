@@ -1,0 +1,69 @@
+"""Out-of-core Jacobi iteration: x <- x + D^{-1} (b - A x).
+
+Converges for strictly diagonally dominant (or otherwise contractive)
+systems; each sweep costs one out-of-core SpMV plus in-core vector
+updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol
+
+import numpy as np
+
+
+class _Operator(Protocol):  # pragma: no cover - typing aid
+    n: int
+
+    def matvec(self, x: np.ndarray) -> np.ndarray: ...
+    def diagonal(self) -> np.ndarray: ...
+
+
+@dataclass
+class JacobiResult:
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+    residual_history: list[float]
+
+
+def jacobi_solve(
+    operator: _Operator,
+    b: np.ndarray,
+    *,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-8,
+    max_iterations: int = 200,
+    callback: Optional[Callable[[int, float], None]] = None,
+) -> JacobiResult:
+    """Solve A x = b by Jacobi sweeps with out-of-core SpMVs."""
+    n = operator.n
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (n,):
+        raise ValueError(f"b has shape {b.shape}, want ({n},)")
+    if max_iterations < 1:
+        raise ValueError("max_iterations must be >= 1")
+    diag = operator.diagonal()
+    if np.any(diag == 0):
+        raise ValueError("Jacobi needs a zero-free diagonal")
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    if x.shape != (n,):
+        raise ValueError(f"x0 has shape {x.shape}, want ({n},)")
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    history: list[float] = []
+    res_norm = np.inf
+    it = 0
+    for it in range(1, max_iterations + 1):
+        residual = b - operator.matvec(x)
+        res_norm = float(np.linalg.norm(residual))
+        history.append(res_norm)
+        if callback is not None:
+            callback(it, res_norm)
+        if res_norm <= tol * b_norm:
+            return JacobiResult(x=x, iterations=it, residual_norm=res_norm,
+                                converged=True, residual_history=history)
+        x = x + residual / diag
+    return JacobiResult(x=x, iterations=it, residual_norm=res_norm,
+                        converged=False, residual_history=history)

@@ -1,0 +1,130 @@
+"""A validated Compressed-Row-Storage matrix block."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class CSRError(ValueError):
+    """Malformed CSR structure."""
+
+
+@dataclass(frozen=True)
+class CSRBlock:
+    """One sub-matrix in CSR form.
+
+    Arrays follow the classic layout: ``indptr`` has ``nrows + 1`` entries,
+    row ``i`` owns ``indices[indptr[i]:indptr[i+1]]`` (column ids, strictly
+    increasing within a row) and the matching ``values``.
+    """
+
+    nrows: int
+    ncols: int
+    indptr: np.ndarray   # int64, nrows + 1
+    indices: np.ndarray  # int64, nnz
+    values: np.ndarray   # float64, nnz
+
+    def __post_init__(self) -> None:
+        if self.nrows < 0 or self.ncols < 0:
+            raise CSRError("negative matrix dimensions")
+        indptr = np.asarray(self.indptr)
+        indices = np.asarray(self.indices)
+        values = np.asarray(self.values)
+        if indptr.shape != (self.nrows + 1,):
+            raise CSRError(f"indptr has shape {indptr.shape}, want ({self.nrows + 1},)")
+        if indptr[0] != 0:
+            raise CSRError("indptr must start at 0")
+        if np.any(np.diff(indptr) < 0):
+            raise CSRError("indptr must be non-decreasing")
+        nnz = int(indptr[-1])
+        if indices.shape != (nnz,) or values.shape != (nnz,):
+            raise CSRError(
+                f"indices/values shapes {indices.shape}/{values.shape} disagree "
+                f"with indptr nnz {nnz}"
+            )
+        if nnz and (indices.min() < 0 or indices.max() >= self.ncols):
+            raise CSRError("column index out of range")
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def nbytes(self) -> int:
+        return self.indptr.nbytes + self.indices.nbytes + self.values.nbytes
+
+    @property
+    def matvec_flops(self) -> int:
+        """2 flops per stored nonzero (multiply + add)."""
+        return 2 * self.nnz
+
+    def row_nnz(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    # -- conversions -----------------------------------------------------------
+
+    def to_scipy(self) -> sp.csr_matrix:
+        return sp.csr_matrix(
+            (self.values, self.indices, self.indptr), shape=self.shape
+        )
+
+    @classmethod
+    def from_scipy(cls, m) -> "CSRBlock":
+        csr = sp.csr_matrix(m)
+        csr.sort_indices()
+        return cls(
+            nrows=csr.shape[0],
+            ncols=csr.shape[1],
+            indptr=csr.indptr.astype(np.int64),
+            indices=csr.indices.astype(np.int64),
+            values=csr.data.astype(np.float64),
+        )
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_scipy().toarray()
+
+    # -- kernels -----------------------------------------------------------------
+
+    def matvec(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """y = A @ x using SciPy's compiled kernel."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.ncols,):
+            raise CSRError(f"x has shape {x.shape}, want ({self.ncols},)")
+        y = self.to_scipy() @ x
+        if out is not None:
+            if out.shape != (self.nrows,):
+                raise CSRError(f"out has shape {out.shape}, want ({self.nrows},)")
+            out[:] = y
+            return out
+        return y
+
+    def matvec_python(self, x: np.ndarray) -> np.ndarray:
+        """Reference row-loop kernel (for differential testing)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.ncols,):
+            raise CSRError(f"x has shape {x.shape}, want ({self.ncols},)")
+        y = np.zeros(self.nrows)
+        for i in range(self.nrows):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            y[i] = np.dot(self.values[lo:hi], x[self.indices[lo:hi]])
+        return y
+
+    @classmethod
+    def empty(cls, nrows: int, ncols: int) -> "CSRBlock":
+        return cls(
+            nrows=nrows,
+            ncols=ncols,
+            indptr=np.zeros(nrows + 1, dtype=np.int64),
+            indices=np.zeros(0, dtype=np.int64),
+            values=np.zeros(0, dtype=np.float64),
+        )

@@ -1,0 +1,125 @@
+"""Random sparse matrix generators.
+
+The paper's testbed matrices are generated "randomly, such that the
+separation between two consecutive nonzero entries on a row is uniformly
+distributed in the interval [1:2d], where d is a parameter ... chosen to
+yield a certain number of total non-zero elements in a sub-matrix".  The
+mean gap is (1 + 2d)/2, so a row of ``ncols`` columns carries about
+``ncols / (d + 0.5)`` nonzeros; :func:`choose_gap_parameter` inverts that.
+
+:func:`symmetric_test_matrix` builds modest symmetric positive-definite
+matrices for the eigensolver examples (Lanczos needs symmetry; the paper's
+Hamiltonians are symmetric).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.spmv.csr import CSRBlock
+
+
+def choose_gap_parameter(ncols: int, nnz_per_row: float) -> float:
+    """The d yielding ~``nnz_per_row`` nonzeros per row of width ``ncols``.
+
+    Derived from E[gap] = d + 1/2 for gaps uniform on [1, 2d].
+    """
+    if nnz_per_row <= 0:
+        raise ValueError("nnz_per_row must be positive")
+    if nnz_per_row > ncols:
+        raise ValueError(f"cannot fit {nnz_per_row} nonzeros in {ncols} columns")
+    return max(ncols / nnz_per_row - 0.5, 0.5)
+
+
+def _row_columns(ncols: int, max_gap: int, rng: np.random.Generator) -> np.ndarray:
+    """Column indices of one gap-uniform row (sorted, unique by design).
+
+    The first column is uniform on [0, max_gap); subsequent columns advance
+    by iid uniform gaps on [1, max_gap].  Gaps are drawn in vectorized
+    batches sized to the expected remaining count.
+    """
+    start = int(rng.integers(0, max_gap))
+    if start >= ncols:
+        return np.zeros(0, dtype=np.int64)
+    pieces = [np.array([start], dtype=np.int64)]
+    last = start
+    mean_gap = (max_gap + 1) / 2.0
+    while True:
+        remaining = ncols - last
+        batch = max(int(remaining / mean_gap) + 8, 16)
+        gaps = rng.integers(1, max_gap + 1, size=batch)
+        cols = last + np.cumsum(gaps)
+        inside = cols[cols < ncols]
+        if inside.size:
+            pieces.append(inside.astype(np.int64))
+        if inside.size < cols.size:  # the batch crossed the row boundary
+            break
+        last = int(cols[-1])
+    return np.concatenate(pieces)
+
+
+def gap_uniform_csr(
+    nrows: int,
+    ncols: int,
+    d: float,
+    rng: np.random.Generator,
+    *,
+    values: str = "uniform",
+) -> CSRBlock:
+    """Generate the paper's gap-uniform random sub-matrix.
+
+    Column gaps per row are iid uniform integers on [1, round(2d)]; the
+    first nonzero column of a row is uniform on [0, gap) so rows are not
+    all anchored at column 0.  ``values`` selects the nonzero distribution:
+    ``"uniform"`` on [-1, 1) or ``"ones"``.
+    """
+    if nrows < 0 or ncols <= 0:
+        raise ValueError("bad matrix dimensions")
+    if d < 0.5:
+        raise ValueError("d must be >= 0.5 (mean gap >= 1)")
+    max_gap = max(int(round(2 * d)), 1)
+    indptr = np.zeros(nrows + 1, dtype=np.int64)
+    rows_cols: list[np.ndarray] = []
+    for i in range(nrows):
+        rows_cols.append(_row_columns(ncols, max_gap, rng))
+        indptr[i + 1] = indptr[i] + rows_cols[-1].size
+    indices = (
+        np.concatenate(rows_cols) if rows_cols else np.zeros(0, dtype=np.int64)
+    )
+    nnz = int(indptr[-1])
+    if values == "uniform":
+        vals = rng.uniform(-1.0, 1.0, size=nnz)
+    elif values == "ones":
+        vals = np.ones(nnz)
+    else:
+        raise ValueError(f"unknown values distribution {values!r}")
+    return CSRBlock(nrows=nrows, ncols=ncols, indptr=indptr,
+                    indices=indices, values=vals)
+
+
+def expected_nnz(nrows: int, ncols: int, d: float) -> float:
+    """Expected nonzero count of :func:`gap_uniform_csr`."""
+    max_gap = max(int(round(2 * d)), 1)
+    return nrows * ncols / ((max_gap + 1) / 2.0)
+
+
+def symmetric_test_matrix(
+    n: int,
+    nnz_per_row: float,
+    rng: np.random.Generator,
+    *,
+    diag_shift: float = 0.0,
+) -> CSRBlock:
+    """A random symmetric matrix with a controllable spectrum floor.
+
+    Built as (R + R^T)/2 from a gap-uniform R, plus ``diag_shift`` x I; with
+    a positive shift exceeding the Gershgorin radius it is positive
+    definite — handy for Lanczos convergence tests.
+    """
+    d = choose_gap_parameter(n, max(nnz_per_row / 2.0, 1.0))
+    r = gap_uniform_csr(n, n, d, rng).to_scipy()
+    m = (r + r.T) * 0.5
+    if diag_shift:
+        m = m + sp.identity(n) * diag_shift
+    return CSRBlock.from_scipy(m)

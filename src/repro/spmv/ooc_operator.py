@@ -1,0 +1,177 @@
+"""An out-of-core blocked matrix as a reusable linear operator.
+
+``OutOfCoreMatrix`` owns a DOoC engine whose scratch directories hold the
+K x K binary-CSR sub-matrix files (seeded once); every ``matvec`` builds
+and runs a DOoC program (multiplies + policy-dependent reductions).  The
+Lanczos, Jacobi, and conjugate-gradient solvers all drive their heavy
+SpMVs through this one operator — "developing more linear algebra kernels
+[to] lower the bar for the application scientists" (Section VII).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.engine import DOoCEngine, Program
+from repro.core.iofilter import write_array
+from repro.core.array import ArrayDesc
+from repro.spmv.csr import CSRBlock
+from repro.spmv.csrfile import serialize_csr
+from repro.spmv.partition import GridPartition, column_owner
+from repro.spmv.program import _mult_fn, _sum_fn, a_name
+
+
+class OutOfCoreMatrix:
+    """y = A @ x with A resident on disk, executed through DOoC."""
+
+    def __init__(
+        self,
+        blocks: Dict[tuple[int, int], CSRBlock],
+        *,
+        n_nodes: int = 1,
+        workers_per_node: int = 2,
+        memory_budget_per_node: int = 256 * 2**20,
+        scratch_dir: "Optional[str | Path]" = None,
+        policy: str = "interleaved",
+        owner: Optional[Callable[[int, int], int]] = None,
+        rng_seed: int = 0,
+        gc_arrays: bool = True,
+    ):
+        ks = sorted({u for u, _ in blocks})
+        k = len(ks)
+        if sorted(blocks) != [(u, v) for u in range(k) for v in range(k)]:
+            raise ValueError("blocks must cover a complete K x K grid")
+        n = sum(blocks[(u, 0)].nrows for u in range(k))
+        self.partition = GridPartition(n, k)
+        for (u, v), b in blocks.items():
+            want = (self.partition.part_length(u), self.partition.part_length(v))
+            if b.shape != want:
+                raise ValueError(f"block {(u, v)} has shape {b.shape}, want {want}")
+        if policy not in ("simple", "interleaved"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.policy = policy
+        self.k = k
+        self.n = n
+        self.owner = owner or column_owner(k, n_nodes)
+        self.engine = DOoCEngine(
+            n_nodes=n_nodes,
+            workers_per_node=workers_per_node,
+            memory_budget_per_node=memory_budget_per_node,
+            scratch_dir=scratch_dir,
+            rng_seed=rng_seed,
+            gc_arrays=gc_arrays,
+        )
+        self._a_raw_len: dict[tuple[int, int], int] = {}
+        self._nnz: dict[tuple[int, int], int] = {}
+        self.matvec_count = 0
+        # Seed the sub-matrix files once, on their owning nodes.
+        for (u, v), b in blocks.items():
+            raw = np.frombuffer(serialize_csr(b), dtype=np.uint8)
+            self._a_raw_len[(u, v)] = len(raw)
+            self._nnz[(u, v)] = b.nnz
+            desc = ArrayDesc(a_name(u, v), length=len(raw), dtype="uint8",
+                             block_elems=len(raw))
+            write_array(self.engine.node_scratch(self.owner(u, v)), desc, raw)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n, self.n)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """One out-of-core SpMV as a DOoC program."""
+        if x.shape != (self.n,):
+            raise ValueError(f"x has shape {x.shape}, want ({self.n},)")
+        t = self.matvec_count
+        self.matvec_count += 1
+        p = self.partition
+        prog = Program(f"ooc-matvec-{t}")
+        for (u, v), raw_len in self._a_raw_len.items():
+            prog.initial_from_scratch(
+                a_name(u, v), raw_len, home=self.owner(u, v),
+                dtype="uint8", block_elems=raw_len)
+        parts = p.split_vector(np.asarray(x, dtype=np.float64))
+        for u in range(self.k):
+            prog.initial_array(f"it{t}_x_{u}", parts[u], home=self.owner(0, u),
+                               block_elems=len(parts[u]))
+        for u in range(self.k):
+            ylen = p.part_length(u)
+            for v in range(self.k):
+                prog.array(f"it{t}_y_{u}_{v}", ylen, block_elems=ylen)
+                prog.add_task(
+                    f"it{t}_mult_{u}_{v}", _mult_fn,
+                    [a_name(u, v), f"it{t}_x_{v}"], [f"it{t}_y_{u}_{v}"],
+                    flops=2.0 * self._nnz[(u, v)],
+                    a=a_name(u, v), x=f"it{t}_x_{v}",
+                )
+            prog.array(f"it{t}_out_{u}", ylen, block_elems=ylen)
+            if self.policy == "simple":
+                prog.add_task(
+                    f"it{t}_sum_{u}", _sum_fn,
+                    [f"it{t}_y_{u}_{v}" for v in range(self.k)],
+                    [f"it{t}_out_{u}"],
+                    flops=float(ylen * (self.k - 1)),
+                )
+            else:
+                groups: dict[int, list[int]] = {}
+                for v in range(self.k):
+                    groups.setdefault(self.owner(u, v), []).append(v)
+                partials = []
+                for node, vs in sorted(groups.items()):
+                    if len(vs) == 1:
+                        partials.append(f"it{t}_y_{u}_{vs[0]}")
+                        continue
+                    pname = f"it{t}_part_{u}_{node}"
+                    prog.array(pname, ylen, block_elems=ylen)
+                    prog.add_task(
+                        f"it{t}_psum_{u}_{node}", _sum_fn,
+                        [f"it{t}_y_{u}_{v}" for v in vs], [pname],
+                        flops=float(ylen * (len(vs) - 1)),
+                    )
+                    partials.append(pname)
+                prog.add_task(
+                    f"it{t}_sum_{u}", _sum_fn, partials, [f"it{t}_out_{u}"],
+                    flops=float(ylen * max(len(partials) - 1, 1)),
+                )
+        self.engine.run(prog)
+        out = {u: self.engine.fetch(f"it{t}_out_{u}") for u in range(self.k)}
+        self._cleanup(t)
+        return p.join_vector(out)
+
+    def _cleanup(self, t: int) -> None:
+        """Unlink this matvec's per-iteration scratch files (the seeded x
+        parts and any spilled temporaries); the sub-matrix files persist."""
+        from repro.core.iofilter import delete_array_file, discover_arrays
+
+        prefix = f"it{t}_"
+        for node in range(self.engine.n_nodes):
+            scratch = self.engine.node_scratch(node)
+            for name in discover_arrays(scratch):
+                if name.startswith(prefix):
+                    delete_array_file(scratch, name)
+
+    def diagonal(self) -> np.ndarray:
+        """The matrix diagonal, read block by block from the stored files
+        (needed by Jacobi; cheap: only the diagonal grid blocks load)."""
+        from repro.core.iofilter import read_array
+        from repro.spmv.csrfile import deserialize_csr
+
+        diag = np.zeros(self.n)
+        for u in range(self.k):
+            raw_len = self._a_raw_len[(u, u)]
+            desc = ArrayDesc(a_name(u, u), length=raw_len, dtype="uint8",
+                             block_elems=raw_len)
+            raw = read_array(
+                self.engine.node_scratch(self.owner(u, u)), desc)
+            block = deserialize_csr(raw)
+            lo, hi = self.partition.part_range(u)
+            dense_diag = np.zeros(block.nrows)
+            for i in range(block.nrows):
+                row = slice(block.indptr[i], block.indptr[i + 1])
+                hits = np.nonzero(block.indices[row] == i)[0]
+                if hits.size:
+                    dense_diag[i] = block.values[row][hits[0]]
+            diag[lo:hi] = dense_diag
+        return diag

@@ -1,0 +1,216 @@
+"""Iterated-SpMV DOoC programs.
+
+Builds the task graph of Section IV: per iteration *i*,
+
+* ``mult_i_u_v``: x^i_{u,v} = A_{u,v} * x^{i-1}_v   (one per sub-matrix)
+* reduction to x^i_u, under one of two policies:
+
+  - ``"simple"``  — one ``sum_i_u`` task reads every intermediate
+    x^i_{u,v}; with the default placement all intermediates travel to the
+    node owning the row (the Table III configuration, "all the
+    intermediate results are sent to the node that hosts A_{i,0}");
+  - ``"interleaved"`` — each owning node first reduces its own
+    intermediates (``part_i_u_n``), and a slim ``sum_i_u`` combines the
+    per-node partials (the Table IV configuration: "the reduction is
+    instead first performed locally by each node before communicating").
+
+Sub-matrices ride in DOoC global arrays as serialized binary-CRS bytes
+(single-block uint8 arrays): the storage layer moves untyped buffers,
+exactly as DataCutter prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.engine import Program
+from repro.spmv.csr import CSRBlock
+from repro.spmv.csrfile import deserialize_csr, serialize_csr
+from repro.spmv.partition import GridPartition, column_owner
+
+
+def a_name(u: int, v: int) -> str:
+    return f"A_{u}_{v}"
+
+
+def x_name(i: int, u: int) -> str:
+    return f"x_{i}_{u}"
+
+
+def y_name(i: int, u: int, v: int) -> str:
+    return f"y_{i}_{u}_{v}"
+
+
+def part_name(i: int, u: int, n: int) -> str:
+    return f"part_{i}_{u}_{n}"
+
+
+def _mult_fn(ins: dict, outs: dict, meta: dict) -> None:
+    """x^i_{u,v} = A_{u,v} @ x^{i-1}_v."""
+    a = deserialize_csr(ins[meta["a"]])
+    x = ins[meta["x"]]
+    (out_name,) = list(outs)
+    a.matvec(x, out=outs[out_name])
+
+
+def _sum_fn(ins: dict, outs: dict, meta: dict) -> None:
+    """Elementwise sum of all inputs."""
+    (out_name,) = list(outs)
+    out = outs[out_name]
+    out[:] = 0.0
+    for arr in ins.values():
+        out += arr
+
+
+@dataclass
+class IteratedSpMVResult:
+    """Program plus the metadata needed to read results back."""
+
+    program: Program
+    partition: GridPartition
+    iterations: int
+    policy: str
+    owner: Callable[[int, int], int]
+
+    def final_vector_names(self) -> list[str]:
+        return [x_name(self.iterations, u) for u in range(self.partition.k)]
+
+    def fetch_final(self, engine) -> np.ndarray:
+        """Gather x^T from a finished engine run."""
+        parts = {u: engine.fetch(x_name(self.iterations, u))
+                 for u in range(self.partition.k)}
+        return self.partition.join_vector(parts)
+
+
+def build_iterated_spmv(
+    blocks: Dict[tuple[int, int], CSRBlock],
+    x0_parts: Dict[int, np.ndarray],
+    iterations: int,
+    *,
+    n_nodes: int = 1,
+    policy: str = "simple",
+    owner: Optional[Callable[[int, int], int]] = None,
+    vector_block_elems: Optional[int] = None,
+) -> IteratedSpMVResult:
+    """Assemble the DOoC program for T iterations of y = A x.
+
+    ``blocks`` maps grid coordinates to sub-matrices; ``x0_parts`` the
+    conforming initial sub-vectors.  ``owner(u, v)`` places sub-matrix
+    files on nodes (default: Fig. 5's column ownership).
+    """
+    if policy not in ("simple", "interleaved"):
+        raise ValueError(f"unknown policy {policy!r}")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    ks = sorted({u for u, _ in blocks} | {v for _, v in blocks})
+    k = len(ks)
+    if sorted(blocks) != [(u, v) for u in range(k) for v in range(k)]:
+        raise ValueError("blocks must cover a complete K x K grid")
+    n = sum(blocks[(u, 0)].nrows for u in range(k))
+    partition = GridPartition(n, k)
+    for (u, v), b in blocks.items():
+        want = (partition.part_length(u), partition.part_length(v))
+        if b.shape != want:
+            raise ValueError(f"block {(u, v)} has shape {b.shape}, want {want}")
+    if sorted(x0_parts) != list(range(k)):
+        raise ValueError("x0_parts must have one part per grid row")
+    if owner is None:
+        owner = column_owner(k, n_nodes)
+
+    prog = Program(f"iterated-spmv-{policy}")
+
+    # Sub-matrices: serialized bytes, one DOoC block each, on their nodes.
+    for (u, v), b in blocks.items():
+        raw = np.frombuffer(serialize_csr(b), dtype=np.uint8)
+        prog.initial_array(a_name(u, v), raw, home=owner(u, v),
+                           block_elems=len(raw))
+
+    # Initial vector parts: x_v feeds column v's multiplies; home it with
+    # the (first) owner of that column.
+    for u in range(k):
+        part = np.asarray(x0_parts[u], dtype=np.float64)
+        if part.shape != (partition.part_length(u),):
+            raise ValueError(f"x0 part {u} has wrong length")
+        prog.initial_array(
+            x_name(0, u), part, home=owner(0, u),
+            block_elems=vector_block_elems or partition.part_length(u),
+        )
+
+    vec_block = lambda u: vector_block_elems or partition.part_length(u)  # noqa: E731
+
+    for i in range(1, iterations + 1):
+        # Multiplies
+        for u, v in partition.coords():
+            ylen = partition.part_length(u)
+            prog.array(y_name(i, u, v), ylen, block_elems=vec_block(u))
+            prog.add_task(
+                f"mult_{i}_{u}_{v}",
+                _mult_fn,
+                [a_name(u, v), x_name(i - 1, v)],
+                [y_name(i, u, v)],
+                flops=2.0 * blocks[(u, v)].nnz,
+                a=a_name(u, v),
+                x=x_name(i - 1, v),
+            )
+        # Reductions
+        for u in range(k):
+            ylen = partition.part_length(u)
+            prog.array(x_name(i, u), ylen, block_elems=vec_block(u))
+            if policy == "simple":
+                prog.add_task(
+                    f"sum_{i}_{u}",
+                    _sum_fn,
+                    [y_name(i, u, v) for v in range(k)],
+                    [x_name(i, u)],
+                    flops=float(ylen * (k - 1)),
+                )
+            else:
+                # Per-node partial sums first.
+                groups: dict[int, list[int]] = {}
+                for v in range(k):
+                    groups.setdefault(owner(u, v), []).append(v)
+                partial_names = []
+                for node, vs in sorted(groups.items()):
+                    if len(vs) == 1:
+                        # A singleton partial would be a copy; feed the
+                        # intermediate straight into the final sum.
+                        partial_names.append(y_name(i, u, vs[0]))
+                        continue
+                    pname = part_name(i, u, node)
+                    prog.array(pname, ylen, block_elems=vec_block(u))
+                    prog.add_task(
+                        f"psum_{i}_{u}_{node}",
+                        _sum_fn,
+                        [y_name(i, u, v) for v in vs],
+                        [pname],
+                        flops=float(ylen * (len(vs) - 1)),
+                    )
+                    partial_names.append(pname)
+                if len(partial_names) == 1:
+                    # Single owner: rename by a trivial sum (keeps naming
+                    # uniform across policies).
+                    prog.add_task(
+                        f"sum_{i}_{u}",
+                        _sum_fn,
+                        partial_names,
+                        [x_name(i, u)],
+                        flops=float(ylen),
+                    )
+                else:
+                    prog.add_task(
+                        f"sum_{i}_{u}",
+                        _sum_fn,
+                        partial_names,
+                        [x_name(i, u)],
+                        flops=float(ylen * (len(partial_names) - 1)),
+                    )
+    return IteratedSpMVResult(
+        program=prog,
+        partition=partition,
+        iterations=iterations,
+        policy=policy,
+        owner=owner,
+    )

@@ -1,0 +1,45 @@
+"""ASCII Gantt charts of simulated testbed runs (Fig. 5-style views).
+
+The paper's Fig. 5 explains the policies with Gantt charts; this module
+renders the same kind of view from an actual simulated run's trace: ``=``
+filesystem reads, ``m`` multiplies/reductions, ``>``/``<`` vector sends
+and receives, per compute node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.trace import render_gantt
+from repro.testbed.app import TestbedParams, run_testbed_spmv
+
+GLYPHS = {"io": "=", "compute": "m", "send": ">", "recv": "<"}
+
+
+def simulated_gantt(
+    nodes: int,
+    policy: str,
+    *,
+    seed: int = 1,
+    until_s: Optional[float] = None,
+    width: int = 96,
+    params: Optional[TestbedParams] = None,
+    **run_kwargs,
+) -> str:
+    """Run a testbed simulation and render its activity timeline.
+
+    ``until_s`` crops the chart to the first N simulated seconds (default:
+    roughly the first iteration).
+    """
+    sink: list = []
+    row = run_testbed_spmv(nodes, policy, seed=seed, trace_sink=sink,
+                           params=params or TestbedParams(), **run_kwargs)
+    trace = sink[0]
+    crop = until_s if until_s is not None else row.time_s / 4.0
+    intervals = [iv for iv in trace.intervals if iv.start < crop]
+    header = (
+        f"{policy} policy, {nodes} node(s), first {crop:.0f} s of "
+        f"{row.time_s:.0f} s  (= read, m compute, > send, < recv)"
+    )
+    return header + "\n" + render_gantt(intervals, width=width,
+                                        kind_glyphs=GLYPHS)

@@ -1,0 +1,37 @@
+"""Shared utilities: unit handling, seeded RNG trees, online statistics."""
+
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    TB,
+    KiB,
+    MiB,
+    GiB,
+    TiB,
+    format_bytes,
+    format_rate,
+    format_seconds,
+    parse_bytes,
+)
+from repro.util.rng import RngTree, spawn
+from repro.util.stats import OnlineStats, Percentiles
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "format_bytes",
+    "format_rate",
+    "format_seconds",
+    "parse_bytes",
+    "RngTree",
+    "spawn",
+    "OnlineStats",
+    "Percentiles",
+]

@@ -1,0 +1,95 @@
+"""Small online statistics used by traces and benchmark reports."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class OnlineStats:
+    """Welford single-pass mean/variance accumulator.
+
+    Numerically stable; O(1) memory.  Used by simulation traces that would
+    otherwise have to retain millions of samples.
+    """
+
+    __slots__ = ("n", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        """Fold one sample into the accumulator."""
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold another accumulator in (parallel Welford merge)."""
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.n, self._mean, self._m2 = other.n, other._mean, other._m2
+            self.min, self.max = other.min, other.max
+            return
+        total = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / total
+        self._mean += delta * other.n / total
+        self.n = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OnlineStats(n={self.n}, mean={self.mean:.4g}, std={self.std:.4g})"
+
+
+@dataclass
+class Percentiles:
+    """Retains samples for exact percentile queries (small populations)."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def add(self, x: float) -> None:
+        self.samples.append(float(x))
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile, q in [0, 1]."""
+        if not self.samples:
+            raise ValueError("no samples")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        xs = sorted(self.samples)
+        pos = q * (len(xs) - 1)
+        lo = int(math.floor(pos))
+        hi = int(math.ceil(pos))
+        if lo == hi:
+            return xs[lo]
+        frac = pos - lo
+        return xs[lo] * (1 - frac) + xs[hi] * frac
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)

@@ -1,0 +1,257 @@
+"""Tests for the configuration-interaction basis machinery (Table I)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.ci.cases import TABLE1_CASES, required_processors, triangular_processor_count
+from repro.ci.ho_basis import (
+    SPState,
+    cumulative_states,
+    ho_shell_states,
+    ho_states_up_to,
+    minimal_quanta,
+    shell_size,
+)
+from repro.ci.mscheme import MSchemeSpace, SpeciesCounter
+from repro.ci.nnz import count_row_connections, estimate_row_nnz
+
+
+class TestHOBasis:
+    def test_shell_sizes(self):
+        for N in range(8):
+            assert len(ho_shell_states(N)) == (N + 1) * (N + 2) == shell_size(N)
+
+    def test_cumulative(self):
+        for N in range(6):
+            assert len(ho_states_up_to(N)) == cumulative_states(N)
+
+    def test_state_quantum_numbers_valid(self):
+        for s in ho_states_up_to(4):
+            assert s.quanta == 2 * s.n + s.l
+            assert s.jj in (2 * s.l - 1, 2 * s.l + 1)
+            assert abs(s.mm) <= s.jj
+            assert s.parity == (-1) ** s.l
+
+    def test_invalid_states_rejected(self):
+        with pytest.raises(ValueError):
+            SPState(n=0, l=1, jj=5, mm=1)     # j not l +- 1/2
+        with pytest.raises(ValueError):
+            SPState(n=0, l=0, jj=1, mm=3)     # |m| > j
+        with pytest.raises(ValueError):
+            SPState(n=0, l=0, jj=1, mm=0)     # m parity
+        with pytest.raises(ValueError):
+            SPState(n=-1, l=0, jj=1, mm=1)
+
+    def test_minimal_quanta_fills_shells(self):
+        assert minimal_quanta(0) == 0
+        assert minimal_quanta(2) == 0            # 0s holds 2
+        assert minimal_quanta(3) == 1            # third nucleon in 0p
+        assert minimal_quanta(5) == 3            # 0s^2 0p^3
+        assert minimal_quanta(8) == 6            # 0s^2 0p^6
+        assert minimal_quanta(9) == 6 + 2        # next in N=2
+
+
+def brute_force_species_count(particles, max_quanta, quanta, mm):
+    """Exhaustive determinant count for tiny spaces."""
+    states = ho_states_up_to(max_quanta)
+    count = 0
+    for combo in itertools.combinations(range(len(states)), particles):
+        q = sum(states[i].quanta for i in combo)
+        m = sum(states[i].mm for i in combo)
+        if q == quanta and m == mm:
+            count += 1
+    return count
+
+
+class TestSpeciesCounter:
+    def test_matches_brute_force_one_particle(self):
+        c = SpeciesCounter(1, max_quanta=3)
+        for q in range(4):
+            for mm in range(-7, 8, 2):
+                assert c.count(q, mm) == brute_force_species_count(1, 3, q, mm)
+
+    def test_matches_brute_force_two_particles(self):
+        c = SpeciesCounter(2, max_quanta=2)
+        for q in range(3):
+            for mm in range(-6, 7, 2):
+                assert c.count(q, mm) == brute_force_species_count(2, 2, q, mm)
+
+    def test_matches_brute_force_three_particles(self):
+        c = SpeciesCounter(3, max_quanta=3)
+        for q in range(1, 4):
+            for mm in (-3, -1, 1, 3):
+                assert c.count(q, mm) == brute_force_species_count(3, 3, q, mm)
+
+    def test_zero_particles(self):
+        c = SpeciesCounter(0, max_quanta=0)
+        assert c.count(0, 0) == 1
+        assert c.count(1, 0) == 0
+
+    def test_below_pauli_minimum_rejected(self):
+        with pytest.raises(ValueError, match="Pauli"):
+            SpeciesCounter(3, max_quanta=0)  # 3 particles need 1 quantum
+
+    def test_sampling_matches_counts(self):
+        """Empirical frequencies of sampled determinants are uniform."""
+        c = SpeciesCounter(2, max_quanta=1)
+        q, mm = 1, 0
+        total = c.count(q, mm)
+        assert total > 1
+        rng = np.random.default_rng(0)
+        seen = {}
+        draws = 200 * total
+        for _ in range(draws):
+            det = frozenset(c.sample(q, mm, rng))
+            assert sum(s.quanta for s in det) == q
+            assert sum(s.mm for s in det) == mm
+            seen[det] = seen.get(det, 0) + 1
+        assert len(seen) == total  # every determinant reachable
+        freqs = np.array(list(seen.values())) / draws
+        assert abs(freqs.mean() - 1.0 / total) < 1e-12
+        assert freqs.max() / freqs.min() < 1.6  # roughly uniform
+
+    def test_sampling_invalid_cell_rejected(self):
+        c = SpeciesCounter(2, max_quanta=1)
+        with pytest.raises(ValueError):
+            c.sample(1, 99, np.random.default_rng(0))
+
+
+class TestMSchemeSpace:
+    def test_mj_parity_validation(self):
+        with pytest.raises(ValueError):
+            MSchemeSpace(2, 2, 2, mj2=1)   # even A needs even 2Mj
+        with pytest.raises(ValueError):
+            MSchemeSpace(2, 1, 2, mj2=0)   # odd A needs odd 2Mj
+
+    def test_4he_nmax0(self):
+        # 4He at Nmax=0: all four nucleons in the s-shell; a single state.
+        space = MSchemeSpace(2, 2, 0, 0)
+        assert space.dimension() == 1
+
+    def test_dimension_brute_force_cross_check(self):
+        """Tiny nucleus counted two ways."""
+        space = MSchemeSpace(2, 1, 2, mj2=1)
+        # Brute force over both species.
+        states = ho_states_up_to(2 + minimal_quanta(2))
+        count = 0
+        minq = space.min_quanta
+        for pc in itertools.combinations(range(len(states)), 2):
+            for nc in itertools.combinations(range(len(states)), 1):
+                q = sum(states[i].quanta for i in pc) + sum(
+                    states[i].quanta for i in nc)
+                m = sum(states[i].mm for i in pc) + sum(states[i].mm for i in nc)
+                exc = q - minq
+                if 0 <= exc <= 2 and exc % 2 == 0 and m == 1:
+                    count += 1
+        assert space.dimension() == count
+
+    def test_both_parities_superset(self):
+        space = MSchemeSpace(3, 3, 2, mj2=0)
+        assert space.dimension(fixed_parity=False) > space.dimension()
+
+    @pytest.mark.parametrize("case", TABLE1_CASES[:2], ids=lambda c: c.name)
+    def test_table1_dimensions_match_published(self, case):
+        """The headline Table-I check: exact D within published rounding."""
+        d = case.space().dimension()
+        assert d == pytest.approx(case.published_dimension, rel=0.005)
+
+    def test_sampled_determinants_satisfy_constraints(self):
+        space = MSchemeSpace(3, 3, 2, mj2=0)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            protons, neutrons = space.sample_determinant(rng)
+            assert len(protons) == 3 and len(neutrons) == 3
+            assert len(set(protons)) == 3 and len(set(neutrons)) == 3
+            q = sum(s.quanta for s in protons) + sum(s.quanta for s in neutrons)
+            m = sum(s.mm for s in protons) + sum(s.mm for s in neutrons)
+            exc = q - space.min_quanta
+            assert 0 <= exc <= 2 and exc % 2 == 0
+            assert m == 0
+
+
+def brute_force_row_connections(space, det_p, det_n):
+    """Enumerate the full basis of a tiny space; count dets within two
+    substitutions of (det_p, det_n)."""
+    states = ho_states_up_to(space.nmax + space.min_quanta)
+    minq = space.min_quanta
+    p_set, n_set = frozenset(det_p), frozenset(det_n)
+    count = 0
+    for pc in itertools.combinations(states, space.protons):
+        ps = frozenset(pc)
+        dp = space.protons - len(ps & p_set)
+        if dp > 2:
+            continue
+        for nc in itertools.combinations(states, space.neutrons):
+            ns = frozenset(nc)
+            dn = space.neutrons - len(ns & n_set)
+            if dp + dn > 2:
+                continue
+            q = sum(s.quanta for s in pc) + sum(s.quanta for s in nc)
+            m = sum(s.mm for s in pc) + sum(s.mm for s in nc)
+            exc = q - minq
+            if 0 <= exc <= space.nmax and exc % 2 == space.nmax % 2 and \
+                    m == space.mj2:
+                count += 1
+    return count
+
+
+class TestNnzEstimator:
+    def test_row_count_matches_brute_force(self):
+        """The combinatorial row counter against full enumeration."""
+        space = MSchemeSpace(2, 1, 2, mj2=1)
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            det_p, det_n = space.sample_determinant(rng)
+            fast = count_row_connections(space, det_p, det_n)
+            slow = brute_force_row_connections(space, det_p, det_n)
+            assert fast == slow
+
+    def test_row_count_matches_brute_force_heavier(self):
+        space = MSchemeSpace(2, 2, 2, mj2=0)
+        rng = np.random.default_rng(3)
+        for _ in range(3):
+            det_p, det_n = space.sample_determinant(rng)
+            assert count_row_connections(space, det_p, det_n) == \
+                brute_force_row_connections(space, det_p, det_n)
+
+    def test_estimate_has_finite_error(self):
+        space = MSchemeSpace(3, 3, 2, mj2=0)
+        est = estimate_row_nnz(space, 10, np.random.default_rng(4))
+        assert est.mean > 1
+        assert est.std_error >= 0
+        lo, hi = est.ci95
+        assert lo <= est.mean <= hi
+
+    def test_estimator_needs_two_samples(self):
+        space = MSchemeSpace(2, 2, 0, 0)
+        with pytest.raises(ValueError):
+            estimate_row_nnz(space, 1, np.random.default_rng(0))
+
+
+class TestProcessorModel:
+    def test_triangular_counts(self):
+        assert triangular_processor_count(1) == 1
+        assert triangular_processor_count(250) == 253
+        assert triangular_processor_count(277) == 300
+        assert triangular_processor_count(276) == 276
+
+    def test_published_np_are_triangular(self):
+        for case in TABLE1_CASES:
+            assert case.diag_processors * (case.diag_processors + 1) // 2 == \
+                case.published_processors
+
+    def test_local_sizes_match_published(self):
+        for case in TABLE1_CASES:
+            v_mb = case.v_local_bytes() / 1e6
+            h_mb = case.h_local_bytes() / 1e6
+            assert v_mb == pytest.approx(case.published_v_local_mb, rel=0.15)
+            assert h_mb == pytest.approx(case.published_h_local_mb, rel=0.15)
+
+    def test_required_processors_reasonable(self):
+        for case in TABLE1_CASES:
+            got = required_processors(case.published_dimension,
+                                      case.published_nnz)
+            # Within a couple of triangular steps of the published choice.
+            assert got == pytest.approx(case.published_processors, rel=0.25)

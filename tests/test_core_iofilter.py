@@ -1,0 +1,134 @@
+"""Tests for scratch-directory block I/O and the I/O filter."""
+
+import numpy as np
+import pytest
+
+from repro.core.array import ArrayDesc
+from repro.core.errors import StorageError
+from repro.core.iofilter import (
+    IOFilter,
+    array_path,
+    block_offset,
+    delete_array_file,
+    discover_arrays,
+    read_array,
+    read_block,
+    write_array,
+    write_block,
+)
+from repro.datacutter import DataBuffer, END_OF_STREAM, Filter, Layout, ThreadedRuntime
+
+
+def desc(name="a", length=100, block=40):
+    return ArrayDesc(name, length=length, block_elems=block)
+
+
+class TestBlockIO:
+    def test_write_read_round_trip(self, tmp_path):
+        d = desc()
+        data = np.arange(100, dtype=float)
+        write_array(tmp_path, d, data)
+        np.testing.assert_array_equal(read_array(tmp_path, d), data)
+
+    def test_block_offsets(self, tmp_path):
+        d = desc(length=100, block=40)
+        assert block_offset(d, 0) == 0
+        assert block_offset(d, 1) == 40 * 8
+        assert block_offset(d, 2) == 80 * 8
+        with pytest.raises(StorageError):
+            block_offset(d, 3)
+
+    def test_out_of_order_block_writes(self, tmp_path):
+        d = desc(length=100, block=40)
+        write_block(tmp_path, d, 2, np.full(20, 2.0))
+        write_block(tmp_path, d, 0, np.full(40, 0.0))
+        write_block(tmp_path, d, 1, np.full(40, 1.0))
+        np.testing.assert_array_equal(
+            read_block(tmp_path, d, 1), np.full(40, 1.0))
+        np.testing.assert_array_equal(
+            read_block(tmp_path, d, 2), np.full(20, 2.0))
+
+    def test_shape_validation(self, tmp_path):
+        d = desc()
+        with pytest.raises(StorageError):
+            write_block(tmp_path, d, 0, np.zeros(7))
+        with pytest.raises(StorageError):
+            write_array(tmp_path, d, np.zeros(99))
+
+    def test_short_read_detected(self, tmp_path):
+        d = desc(length=100, block=40)
+        write_block(tmp_path, d, 0, np.zeros(40))
+        with pytest.raises(StorageError, match="short read"):
+            read_block(tmp_path, d, 2)
+
+    def test_name_mangling_round_trips(self, tmp_path):
+        d = ArrayDesc("dir/like\\name", length=10, block_elems=10)
+        write_array(tmp_path, d, np.arange(10.0))
+        assert discover_arrays(tmp_path) == ["dir/like\\name"]
+        np.testing.assert_array_equal(read_array(tmp_path, d), np.arange(10.0))
+
+    def test_delete_and_discover(self, tmp_path):
+        d = desc("x")
+        write_array(tmp_path, d, np.zeros(100))
+        assert discover_arrays(tmp_path) == ["x"]
+        delete_array_file(tmp_path, "x")
+        assert discover_arrays(tmp_path) == []
+        delete_array_file(tmp_path, "x")  # idempotent
+
+    def test_discover_missing_dir(self, tmp_path):
+        assert discover_arrays(tmp_path / "nope") == []
+
+
+class _Driver(Filter):
+    """Feeds commands to an IOFilter and records replies."""
+
+    inputs = ("rep",)
+    outputs = ("cmd",)
+
+    def __init__(self, commands, replies):
+        self.commands = commands
+        self.replies = replies
+
+    def process(self, ctx):
+        for cmd in self.commands:
+            ctx.write("cmd", DataBuffer(cmd))
+        ctx.close("cmd")
+        while True:
+            buf = ctx.read("rep")
+            if buf is END_OF_STREAM:
+                return
+            self.replies.append(buf.payload)
+
+
+class TestIOFilter:
+    def test_load_store_unlink_protocol(self, tmp_path):
+        d = desc(length=80, block=40)
+        replies = []
+        commands = [
+            {"op": "store", "desc": d, "block": 0,
+             "data": np.full(40, 5.0), "token": "t1"},
+            {"op": "load", "desc": d, "block": 0, "token": "t2"},
+            {"op": "unlink", "desc": d, "block": -1, "token": "t3"},
+        ]
+        layout = Layout("io")
+        layout.add_filter("drv", lambda: _Driver(commands, replies))
+        layout.add_filter("io", lambda: IOFilter(tmp_path))
+        layout.connect("drv", "cmd", "io", "in")
+        layout.connect("io", "out", "drv", "rep")
+        ThreadedRuntime(layout).run(timeout=30)
+        assert [r["op"] for r in replies] == ["stored", "loaded", "unlinked"]
+        np.testing.assert_array_equal(replies[1]["data"], np.full(40, 5.0))
+        assert [r["token"] for r in replies] == ["t1", "t2", "t3"]
+        assert not array_path(tmp_path, d.name).exists()
+
+    def test_unknown_op_fails(self, tmp_path):
+        d = desc()
+        replies = []
+        layout = Layout("bad")
+        layout.add_filter("drv", lambda: _Driver(
+            [{"op": "format", "desc": d, "block": 0}], replies))
+        layout.add_filter("io", lambda: IOFilter(tmp_path))
+        layout.connect("drv", "cmd", "io", "in")
+        layout.connect("io", "out", "drv", "rep")
+        with pytest.raises(Exception, match="unknown I/O op"):
+            ThreadedRuntime(layout).run(timeout=30)

@@ -1,0 +1,481 @@
+"""Unit tests for the DOoC storage layer state machine."""
+
+import numpy as np
+import pytest
+
+from repro.core.array import ArrayDesc
+from repro.core.errors import ImmutabilityError, StorageError, UnknownArrayError
+from repro.core.interval import Interval, intervals_for_range, whole_array, whole_block
+from repro.core.storage import LocalStore
+
+
+def desc(name="a", length=100, block=50, dtype="float64"):
+    return ArrayDesc(name, length=length, block_elems=block, dtype=dtype)
+
+
+class TestArrayDesc:
+    def test_block_geometry(self):
+        d = desc(length=100, block=30)
+        assert d.n_blocks == 4
+        assert d.block_bounds(0) == (0, 30)
+        assert d.block_bounds(3) == (90, 100)  # short tail block
+        assert d.block_length(3) == 10
+        assert d.block_nbytes(3) == 80
+        assert d.block_of(89) == 2
+        assert d.block_of(90) == 3
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            ArrayDesc("", length=1)
+        with pytest.raises(StorageError):
+            ArrayDesc("x", length=0)
+        with pytest.raises(StorageError):
+            ArrayDesc("x", length=1, block_elems=0)
+        with pytest.raises(TypeError):
+            ArrayDesc("x", length=1, dtype="not-a-dtype")
+        d = desc()
+        with pytest.raises(StorageError):
+            d.block_bounds(2)
+        with pytest.raises(StorageError):
+            d.block_of(100)
+
+
+class TestIntervals:
+    def test_whole_block_and_array(self):
+        d = desc(length=100, block=30)
+        iv = whole_block(d, 3)
+        assert (iv.lo, iv.hi) == (90, 100)
+        assert len(whole_array(d)) == 4
+
+    def test_interval_cannot_span_blocks(self):
+        d = desc(length=100, block=30)
+        bad = Interval("a", 0, 10, 40)
+        with pytest.raises(StorageError, match="escapes block"):
+            bad.validate_against(d)
+
+    def test_intervals_for_range_splits_on_blocks(self):
+        d = desc(length=100, block=30)
+        ivs = intervals_for_range(d, 25, 95)
+        assert [(iv.block, iv.lo, iv.hi) for iv in ivs] == [
+            (0, 25, 30),
+            (1, 30, 60),
+            (2, 60, 90),
+            (3, 90, 95),
+        ]
+
+    def test_intervals_for_range_validation(self):
+        d = desc()
+        with pytest.raises(StorageError):
+            intervals_for_range(d, 10, 10)
+        with pytest.raises(StorageError):
+            intervals_for_range(d, 0, 101)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(StorageError):
+            Interval("a", 0, 5, 5)
+
+    def test_local_slice(self):
+        d = desc(length=100, block=30)
+        iv = Interval("a", 1, 35, 50)
+        assert iv.local_slice(d) == slice(5, 20)
+
+
+def effects_of_kind(effects, kind):
+    return [e for e in effects if e.kind == kind]
+
+
+def write_whole_array(store, d, value_fn=lambda i: float(i)):
+    """Helper: write and release every block of d through the store.
+
+    Serves any spill effects synchronously so grants queued behind memory
+    reclamation are delivered.
+    """
+    for iv in whole_array(d):
+        ticket, effects = store.request_write(iv)
+        while not ticket.granted:
+            spills = effects_of_kind(effects, "spill")
+            assert spills, "write grant is stuck without a pending spill"
+            effects = [
+                e
+                for s in spills
+                for e in store.on_spilled(s.array, s.block)
+            ]
+        ticket.data[:] = [value_fn(i) for i in range(iv.lo, iv.hi)]
+        store.release(ticket)
+
+
+class TestWriteOnceSemantics:
+    def test_write_then_read_round_trip(self):
+        d = desc()
+        store = LocalStore(0, memory_budget=10**6)
+        store.create_array(d)
+        write_whole_array(store, d)
+        iv = whole_block(d, 1)
+        ticket, effects = store.request_read(iv)
+        [grant] = effects_of_kind(effects, "grant_read")
+        assert grant.ticket is ticket
+        np.testing.assert_allclose(ticket.data, np.arange(50, 100, dtype=float))
+        store.release(ticket)
+
+    def test_read_view_is_read_only(self):
+        d = desc()
+        store = LocalStore(0, memory_budget=10**6)
+        store.create_array(d)
+        write_whole_array(store, d)
+        ticket, _ = store.request_read(whole_block(d, 0))
+        with pytest.raises(ValueError):
+            ticket.data[0] = 99.0
+
+    def test_double_write_same_range_rejected(self):
+        d = desc()
+        store = LocalStore(0, memory_budget=10**6)
+        store.create_array(d)
+        iv = Interval("a", 0, 0, 10)
+        t, _ = store.request_write(iv)
+        t.data[:] = 1.0
+        store.release(t)
+        with pytest.raises(ImmutabilityError):
+            store.request_write(Interval("a", 0, 5, 15))
+
+    def test_concurrent_overlapping_write_tickets_rejected(self):
+        d = desc()
+        store = LocalStore(0, memory_budget=10**6)
+        store.create_array(d)
+        store.request_write(Interval("a", 0, 0, 10))
+        with pytest.raises(ImmutabilityError):
+            store.request_write(Interval("a", 0, 9, 20))
+
+    def test_disjoint_writes_to_same_block_allowed(self):
+        d = desc()
+        store = LocalStore(0, memory_budget=10**6)
+        store.create_array(d)
+        t1, _ = store.request_write(Interval("a", 0, 0, 25))
+        t2, _ = store.request_write(Interval("a", 0, 25, 50))
+        t1.data[:] = 1.0
+        t2.data[:] = 2.0
+        store.release(t1)
+        store.release(t2)
+        ticket, effects = store.request_read(whole_block(d, 0))
+        assert effects_of_kind(effects, "grant_read")
+        assert float(ticket.data[0]) == 1.0 and float(ticket.data[49]) == 2.0
+
+    def test_write_to_sealed_block_rejected(self):
+        d = desc(length=10, block=10)
+        store = LocalStore(0, memory_budget=10**6)
+        store.create_array(d)
+        write_whole_array(store, d)
+        with pytest.raises(ImmutabilityError):
+            store.request_write(Interval("a", 0, 0, 1))
+
+    def test_read_before_write_blocks_until_release(self):
+        d = desc(length=10, block=10)
+        store = LocalStore(0, memory_budget=10**6)
+        store.create_array(d)
+        iv = whole_block(d, 0)
+        rt, effects = store.request_read(iv)
+        assert effects == []  # not granted yet
+        wt, _ = store.request_write(iv)
+        wt.data[:] = 7.0
+        effects = store.release(wt)
+        [grant] = effects_of_kind(effects, "grant_read")
+        assert grant.ticket is rt
+        assert float(rt.data[3]) == 7.0
+
+    def test_partial_write_release_grants_covered_reads_only(self):
+        d = desc(length=10, block=10)
+        store = LocalStore(0, memory_budget=10**6)
+        store.create_array(d)
+        r_lo, e = store.request_read(Interval("a", 0, 0, 5))
+        assert e == []
+        r_hi, e = store.request_read(Interval("a", 0, 5, 10))
+        assert e == []
+        w, _ = store.request_write(Interval("a", 0, 0, 5))
+        w.data[:] = 1.0
+        effects = store.release(w)
+        grants = effects_of_kind(effects, "grant_read")
+        assert [g.ticket for g in grants] == [r_lo]  # r_hi still waiting
+
+    def test_release_twice_rejected(self):
+        d = desc()
+        store = LocalStore(0, memory_budget=10**6)
+        store.create_array(d)
+        t, _ = store.request_write(Interval("a", 0, 0, 10))
+        store.release(t)
+        with pytest.raises(StorageError, match="twice"):
+            store.release(t)
+
+    def test_release_before_grant_rejected(self):
+        d = desc(length=10, block=10)
+        store = LocalStore(0, memory_budget=10**6)
+        store.create_array(d)
+        rt, _ = store.request_read(whole_block(d, 0))  # blocked on write
+        with pytest.raises(StorageError, match="before being granted"):
+            store.release(rt)
+
+    def test_unknown_array_rejected(self):
+        store = LocalStore(0, memory_budget=10**6)
+        with pytest.raises(UnknownArrayError):
+            store.request_read(Interval("ghost", 0, 0, 1))
+
+    def test_duplicate_create_rejected(self):
+        store = LocalStore(0, memory_budget=10**6)
+        store.create_array(desc())
+        with pytest.raises(StorageError, match="already exists"):
+            store.create_array(desc())
+
+
+class TestOutOfCore:
+    """Loads, spills, eviction, prefetch."""
+
+    def make(self, budget_blocks=2, n_blocks=4):
+        # Each block: 50 float64 = 400 bytes.
+        d = desc(length=50 * n_blocks, block=50)
+        store = LocalStore(0, memory_budget=400 * budget_blocks)
+        store.register_on_disk(d)
+        return d, store
+
+    def load_reply(self, store, effects, d):
+        """Serve every 'load' effect with synthetic data; returns new effects."""
+        out = []
+        for e in effects_of_kind(effects, "load"):
+            lo, hi = d.block_bounds(e.block)
+            out += store.on_loaded(e.array, e.block, np.arange(lo, hi, dtype=float))
+        return out
+
+    def test_read_triggers_load(self):
+        d, store = self.make()
+        ticket, effects = store.request_read(whole_block(d, 2))
+        [load] = effects_of_kind(effects, "load")
+        assert (load.array, load.block) == ("a", 2)
+        effects = self.load_reply(store, effects, d)
+        [grant] = effects_of_kind(effects, "grant_read")
+        assert grant.ticket is ticket
+        np.testing.assert_allclose(ticket.data, np.arange(100, 150, dtype=float))
+        assert store.stats.loads == 1
+
+    def test_second_read_is_a_hit(self):
+        d, store = self.make()
+        t1, effects = store.request_read(whole_block(d, 0))
+        self.load_reply(store, effects, d)
+        store.release(t1)
+        t2, effects = store.request_read(whole_block(d, 0))
+        assert effects_of_kind(effects, "grant_read")
+        assert store.stats.read_hits == 1
+        assert store.stats.loads == 1
+
+    def test_lru_eviction_of_clean_blocks(self):
+        d, store = self.make(budget_blocks=2)
+        # Touch blocks 0, 1 (fills budget), then 2 -> evicts 0 (LRU).
+        for b in [0, 1]:
+            t, effects = store.request_read(whole_block(d, b))
+            self.load_reply(store, effects, d)
+            store.release(t)
+        t, effects = store.request_read(whole_block(d, 2))
+        drops = effects_of_kind(effects, "drop")
+        assert [(e.array, e.block) for e in drops] == [("a", 0)]
+        assert store.stats.drops == 1
+        assert store.in_use <= store.budget
+
+    def test_lru_order_respects_recency(self):
+        d, store = self.make(budget_blocks=2)
+        for b in [0, 1]:
+            t, effects = store.request_read(whole_block(d, b))
+            self.load_reply(store, effects, d)
+            store.release(t)
+        # Touch 0 again so 1 becomes LRU.
+        t, effects = store.request_read(whole_block(d, 0))
+        assert effects_of_kind(effects, "grant_read")
+        store.release(t)
+        _, effects = store.request_read(whole_block(d, 2))
+        [drop] = effects_of_kind(effects, "drop")
+        assert drop.block == 1
+
+    def test_pinned_blocks_never_evicted(self):
+        d, store = self.make(budget_blocks=2)
+        t0, effects = store.request_read(whole_block(d, 0))
+        self.load_reply(store, effects, d)  # keep t0 granted, not released
+        t1, effects = store.request_read(whole_block(d, 1))
+        self.load_reply(store, effects, d)
+        # Budget full, both pinned: next read must queue, no drops.
+        t2, effects = store.request_read(whole_block(d, 2))
+        assert effects_of_kind(effects, "drop") == []
+        assert effects_of_kind(effects, "load") == []
+        # Releasing one lets the queued load proceed.
+        effects = store.release(t0)
+        [load] = effects_of_kind(effects, "load")
+        assert load.block == 2
+
+    def test_dirty_block_spilled_before_drop(self):
+        # Array created locally (not on disk): eviction must spill first.
+        n_blocks = 3
+        d = desc(length=50 * n_blocks, block=50)
+        store = LocalStore(0, memory_budget=400 * 2)
+        store.create_array(d)
+        write_whole_array(store, d)  # 3rd write triggers reclaim of block 0
+        assert store.stats.spills >= 1
+        assert store.stats.bytes_spilled >= 400
+
+    def test_spilled_block_reloadable(self):
+        n_blocks = 3
+        d = desc(length=150, block=50)
+        store = LocalStore(0, memory_budget=800)
+        store.create_array(d)
+        # Manually drive: write blocks 0 and 1 (fills budget).
+        for b in [0, 1]:
+            t, _ = store.request_write(whole_block(d, b))
+            t.data[:] = float(b)
+            store.release(t)
+        # Write block 2: must spill block 0 first.
+        t2, effects = store.request_write(whole_block(d, 2))
+        [spill] = effects_of_kind(effects, "spill")
+        assert spill.block == 0
+        assert effects_of_kind(effects, "grant_write") == []  # queued
+        effects = store.on_spilled("a", 0)
+        [grant] = effects_of_kind(effects, "grant_write")
+        assert grant.ticket is t2
+        t2.data[:] = 2.0
+        store.release(t2)
+        # Read block 0 back: memory is full, so an LRU spill (block 1)
+        # precedes the load.
+        rt, effects = store.request_read(whole_block(d, 0))
+        [spill] = effects_of_kind(effects, "spill")
+        assert spill.block == 1
+        effects = store.on_spilled("a", 1)
+        [load] = effects_of_kind(effects, "load")
+        assert load.block == 0
+        effects = store.on_loaded("a", 0, np.full(50, 0.0))
+        [grant] = effects_of_kind(effects, "grant_read")
+        assert grant.ticket is rt
+
+    def test_prefetch_loads_without_pinning(self):
+        d, store = self.make()
+        effects = store.prefetch(whole_block(d, 1))
+        [load] = effects_of_kind(effects, "load")
+        effects = self.load_reply(store, effects, d)
+        assert effects_of_kind(effects, "grant_read") == []
+        # Now a read is a hit.
+        _, effects = store.request_read(whole_block(d, 1))
+        assert effects_of_kind(effects, "grant_read")
+        assert store.stats.read_hits == 1
+
+    def test_prefetch_idempotent_while_loading(self):
+        d, store = self.make()
+        e1 = store.prefetch(whole_block(d, 1))
+        assert effects_of_kind(e1, "load")
+        assert store.prefetch(whole_block(d, 1)) == []
+
+    def test_prefetch_of_unwritten_local_array_is_noop(self):
+        d = desc()
+        store = LocalStore(0, memory_budget=10**6)
+        store.create_array(d)
+        assert store.prefetch(whole_block(d, 0)) == []
+
+    def test_read_during_spill_keeps_block(self):
+        d = desc(length=150, block=50)
+        store = LocalStore(0, memory_budget=800)
+        store.create_array(d)
+        for b in [0, 1]:
+            t, _ = store.request_write(whole_block(d, b))
+            t.data[:] = float(b)
+            store.release(t)
+        t2, effects = store.request_write(whole_block(d, 2))
+        [spill] = effects_of_kind(effects, "spill")
+        # While block 0 is spilling, a reader shows up.
+        rt, e = store.request_read(whole_block(d, 0))
+        assert e == []
+        effects = store.on_spilled("a", 0)
+        kinds = {e.kind for e in effects}
+        # Block stays resident for the reader; the queued write allocation
+        # stays queued (budget still full).
+        assert "grant_read" in kinds
+        assert "drop" not in kinds
+
+    def test_availability_map(self):
+        d, store = self.make()
+        t, effects = store.request_read(whole_block(d, 0))
+        self.load_reply(store, effects, d)
+        amap = store.availability_map()
+        assert amap[("a", 0)] is True
+        assert amap.get(("a", 1), False) is False
+
+    def test_resident_arrays(self):
+        d = desc(length=50, block=50, name="v")
+        store = LocalStore(0, memory_budget=10**6)
+        store.create_array(d)
+        assert store.resident_arrays() == set()
+        write_whole_array(store, d)
+        assert store.resident_arrays() == {"v"}
+
+    def test_delete_array_frees_memory(self):
+        d, store = self.make()
+        t, effects = store.request_read(whole_block(d, 0))
+        self.load_reply(store, effects, d)
+        store.release(t)
+        used = store.in_use
+        assert used > 0
+        store.delete_array("a")
+        assert store.in_use == 0
+        assert not store.has_array("a")
+
+    def test_delete_pinned_array_rejected(self):
+        d, store = self.make()
+        t, effects = store.request_read(whole_block(d, 0))
+        self.load_reply(store, effects, d)
+        with pytest.raises(StorageError, match="in use"):
+            store.delete_array("a")
+
+
+class TestRemoteArrays:
+    def test_read_remote_triggers_fetch(self):
+        d = desc(name="r", length=50, block=50)
+        store = LocalStore(1, memory_budget=10**6)
+        store.register_remote(d)
+        ticket, effects = store.request_read(whole_block(d, 0))
+        [fetch] = effects_of_kind(effects, "fetch_remote")
+        assert (fetch.array, fetch.block) == ("r", 0)
+        effects = store.on_remote_data("r", 0, np.full(50, 3.0))
+        [grant] = effects_of_kind(effects, "grant_read")
+        assert grant.ticket is ticket
+        assert store.stats.remote_fetches == 1
+
+    def test_cached_remote_block_dropped_not_spilled(self):
+        d = desc(name="r", length=100, block=50)
+        local = desc(name="l", length=100, block=50)
+        store = LocalStore(1, memory_budget=800)
+        store.register_remote(d)
+        store.register_on_disk(local)
+        t, effects = store.request_read(whole_block(d, 0))
+        store.on_remote_data("r", 0, np.zeros(50))
+        store.release(t)
+        t, effects = store.request_read(whole_block(d, 1))
+        store.on_remote_data("r", 1, np.zeros(50))
+        store.release(t)
+        # Budget full of remote blocks; a local load must DROP (not spill) one.
+        _, effects = store.request_read(whole_block(local, 0))
+        assert effects_of_kind(effects, "spill") == []
+        assert [e.array for e in effects_of_kind(effects, "drop")] == ["r"]
+
+    def test_write_to_remote_array_rejected(self):
+        d = desc(name="r")
+        store = LocalStore(1, memory_budget=10**6)
+        store.register_remote(d)
+        with pytest.raises(StorageError, match="remote-homed"):
+            store.request_write(whole_block(d, 0))
+
+
+class TestBudgetInvariants:
+    def test_in_use_never_negative_and_bounded_by_budget_when_unpinned(self):
+        d = desc(length=500, block=50)
+        store = LocalStore(0, memory_budget=400 * 3)
+        store.register_on_disk(d)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            b = int(rng.integers(0, d.n_blocks))
+            t, effects = store.request_read(whole_block(d, b))
+            for e in effects:
+                if e.kind == "load":
+                    lo, hi = d.block_bounds(e.block)
+                    store.on_loaded(e.array, e.block, np.arange(lo, hi, dtype=float))
+            assert store.in_use >= 0
+            store.release(t)
+            assert store.in_use <= store.budget

@@ -1,0 +1,112 @@
+"""Tests for the calibrated analytic models (Table II, Fig. 6 baseline)."""
+
+import pytest
+
+from repro.ci.cases import TABLE1_CASES
+from repro.models import (
+    MEMORY_HIERARCHY,
+    MFDnHopperModel,
+    TestbedWorkload,
+    optimal_io_seconds,
+)
+from repro.models.mfdn_hopper import TABLE2_PUBLISHED, HopperModelParams
+from repro.util.units import GB, TB
+
+
+class TestHopperModel:
+    def test_rows_track_published_totals(self):
+        model = MFDnHopperModel()
+        for case in TABLE1_CASES:
+            row = model.table2_row(case)
+            pub = TABLE2_PUBLISHED[case.name]
+            assert row["t_total_s"] == pytest.approx(pub["t_total_s"], rel=0.25)
+            assert row["cpu_hours_per_iteration"] == pytest.approx(
+                pub["cpu_hours_per_iteration"], rel=0.25)
+
+    def test_comm_fraction_shape_grows_to_dominate(self):
+        """The qualitative Table II claim: 34% -> 86%."""
+        model = MFDnHopperModel()
+        fracs = [model.table2_row(c)["comm_fraction"] for c in TABLE1_CASES]
+        assert all(b > a for a, b in zip(fracs, fracs[1:]))
+        assert fracs[0] < 0.5
+        assert fracs[-1] > 0.75
+
+    def test_effective_rate_decays_with_scale(self):
+        model = MFDnHopperModel()
+        assert model.effective_rate(276) == pytest.approx(125e6)
+        assert model.effective_rate(18336) < model.effective_rate(276)
+
+    def test_cpu_hours_formula(self):
+        model = MFDnHopperModel()
+        it = model.iteration(int(1e8), 1e11, 1000, 45)
+        assert it.cpu_hours == pytest.approx(1000 * it.total_seconds / 3600)
+        assert 0 < it.comm_fraction < 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HopperModelParams(rate0_flops=0)
+        with pytest.raises(ValueError):
+            HopperModelParams(epsilon=1.5)
+        model = MFDnHopperModel()
+        with pytest.raises(ValueError):
+            model.effective_rate(0)
+        with pytest.raises(ValueError):
+            model.iteration(10, 10.0, 10, 0)
+
+
+class TestTestbedWorkload:
+    def test_paper_constants(self):
+        w = TestbedWorkload()
+        # ~0.10 TB per node, ~4 GB per sub-matrix (Table III row 1).
+        assert w.bytes_per_node == pytest.approx(0.1024 * TB)
+        assert w.submatrix_bytes == pytest.approx(4.096 * GB)
+        assert w.subvector_rows == 10**7
+        assert w.local_grid_side == 5
+
+    def test_scaling_with_nodes(self):
+        w = TestbedWorkload()
+        assert w.matrix_dimension(36) == 300 * 10**6   # "300 M"
+        assert w.matrix_dimension(1) == 50 * 10**6
+        assert w.total_nnz(36) == pytest.approx(460.8e9)  # "460 billions"
+        assert w.total_bytes(36) == pytest.approx(3.6864 * TB)  # "3.50 TB" in TiB-ish rounding
+        assert w.grid_k(9) == 15
+
+    def test_grid_requires_square(self):
+        w = TestbedWorkload()
+        with pytest.raises(ValueError):
+            w.grid_k(8)
+        with pytest.raises(ValueError):
+            w.matrix_dimension(8)
+
+    def test_flops(self):
+        w = TestbedWorkload()
+        assert w.flops(1) == pytest.approx(2 * 12.8e9 * 4)
+
+
+class TestOptimalIo:
+    def test_fig6_denominator(self):
+        w = TestbedWorkload()
+        # 16 nodes: 1.6384 TB x 4 iterations / 20 GB/s.
+        t = optimal_io_seconds(w.total_bytes(16), 4)
+        assert t == pytest.approx(4 * 16 * 0.1024e12 / 20e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_io_seconds(-1, 4)
+        with pytest.raises(ValueError):
+            optimal_io_seconds(1e12, 0)
+
+
+class TestMemoryHierarchy:
+    def test_fig1_shape(self):
+        """Capacities grow down the hierarchy; latencies grow; the
+        DRAM->disk latency gap is at least two orders of magnitude."""
+        caps = [l.capacity_bytes for l in MEMORY_HIERARCHY]
+        lats = [l.latency_cycles for l in MEMORY_HIERARCHY]
+        assert caps == sorted(caps)
+        assert lats == sorted(lats)
+        by_name = {l.name: l for l in MEMORY_HIERARCHY}
+        assert by_name["hdd"].latency_cycles >= 100 * by_name["dram"].latency_cycles
+        # And the SSD sits inside the gap: the paper's opportunity.
+        assert by_name["dram"].latency_cycles < by_name["ssd"].latency_cycles \
+            < by_name["hdd"].latency_cycles

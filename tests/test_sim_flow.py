@@ -1,0 +1,201 @@
+"""Unit + property tests for the max-min fair flow network."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, FlowNetwork, Link
+from repro.sim.flow import fair_rates
+
+
+def run_transfers(specs):
+    """specs: list of (start_time, links, nbytes). Returns completion times."""
+    env = Environment()
+    net = FlowNetwork(env)
+    done_at = {}
+
+    def starter(i, start, links, nbytes):
+        if start:
+            yield env.timeout(start)
+        yield net.transfer(links, nbytes)
+        done_at[i] = env.now
+
+    for i, (start, links, nbytes) in enumerate(specs):
+        env.process(starter(i, start, links, nbytes))
+    env.run()
+    return done_at
+
+
+def test_single_flow_full_bandwidth():
+    link = Link("l", 100.0)
+    done = run_transfers([(0.0, [link], 1000.0)])
+    assert done[0] == pytest.approx(10.0)
+
+
+def test_two_flows_share_equally():
+    link = Link("l", 100.0)
+    done = run_transfers([(0.0, [link], 500.0), (0.0, [link], 500.0)])
+    # Each gets 50 B/s until both finish together.
+    assert done[0] == pytest.approx(10.0)
+    assert done[1] == pytest.approx(10.0)
+
+
+def test_short_flow_finishes_then_long_flow_speeds_up():
+    link = Link("l", 100.0)
+    done = run_transfers([(0.0, [link], 200.0), (0.0, [link], 600.0)])
+    # Phase 1: both at 50 B/s; short one done at t=4 (200/50).
+    assert done[0] == pytest.approx(4.0)
+    # Long flow: 200 B by t=4, then 400 B at 100 B/s -> t=8.
+    assert done[1] == pytest.approx(8.0)
+
+
+def test_late_arrival_slows_existing_flow():
+    link = Link("l", 100.0)
+    done = run_transfers([(0.0, [link], 1000.0), (5.0, [link], 250.0)])
+    # First: 500 B alone by t=5, then 50 B/s. Second finishes at 5+250/50=10,
+    # first has 500-250=250 left at t=10, then full rate: 10+2.5.
+    assert done[1] == pytest.approx(10.0)
+    assert done[0] == pytest.approx(12.5)
+
+
+def test_multi_link_flow_bottlenecked_by_slowest():
+    fast = Link("fast", 1000.0)
+    slow = Link("slow", 10.0)
+    done = run_transfers([(0.0, [fast, slow], 100.0)])
+    assert done[0] == pytest.approx(10.0)
+
+
+def test_aggregate_ceiling_with_per_node_caps():
+    """The testbed pattern: per-node 1.5 GB/s caps + 20 GB/s shared storage."""
+    storage = Link("gpfs", 20.0)
+    nodes = [Link(f"nic{i}", 1.5) for i in range(25)]
+    env = Environment()
+    net = FlowNetwork(env)
+    rates = {}
+
+    def starter(i):
+        yield net.transfer([nodes[i], storage], 150.0)
+        rates[i] = env.now
+        return None
+
+    for i in range(25):
+        env.process(starter(i))
+    env.run()
+    # 25 flows over a 20-unit storage link: fair share 0.8 each (below the
+    # 1.5 per-node cap), so each 150-byte transfer takes 187.5 s.
+    assert all(t == pytest.approx(187.5) for t in rates.values())
+
+
+def test_per_node_cap_binds_when_few_nodes():
+    storage = Link("gpfs", 20.0)
+    nodes = [Link(f"nic{i}", 1.5) for i in range(4)]
+    done = run_transfers([(0.0, [nodes[i], storage], 15.0) for i in range(4)])
+    # 4 x 1.5 = 6 < 20, so NICs bind: each at 1.5 -> 10 s.
+    for i in range(4):
+        assert done[i] == pytest.approx(10.0)
+
+
+def test_zero_byte_transfer_completes_instantly():
+    env = Environment()
+    net = FlowNetwork(env)
+    ev = net.transfer([Link("l", 1.0)], 0.0)
+    env.run()
+    assert ev.processed and ev.value == 0.0
+
+
+def test_transfer_requires_links():
+    env = Environment()
+    net = FlowNetwork(env)
+    with pytest.raises(ValueError):
+        net.transfer([], 10.0)
+    with pytest.raises(ValueError):
+        net.transfer([Link("l", 1.0)], -1.0)
+
+
+def test_bytes_completed_accounting():
+    link = Link("l", 100.0)
+    env = Environment()
+    net = FlowNetwork(env)
+
+    def go():
+        yield net.transfer([link], 300.0)
+        yield net.transfer([link], 200.0)
+
+    env.process(go())
+    env.run()
+    assert net.bytes_completed == pytest.approx(500.0)
+
+
+# ---------------------------------------------------------------------------
+# Property tests on the pure allocation routine
+# ---------------------------------------------------------------------------
+
+link_caps = st.lists(st.floats(min_value=0.5, max_value=1000.0), min_size=1, max_size=6)
+
+
+@st.composite
+def allocation_problems(draw):
+    caps = draw(link_caps)
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    flows = [
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(caps) - 1),
+                min_size=1,
+                max_size=len(caps),
+                unique=True,
+            )
+        )
+        for _ in range(n_flows)
+    ]
+    return caps, flows
+
+
+@given(allocation_problems())
+@settings(max_examples=200, deadline=None)
+def test_rates_never_exceed_any_link_capacity(problem):
+    caps, flows = problem
+    rates = fair_rates(caps, flows)
+    for li, cap in enumerate(caps):
+        used = sum(r for r, f in zip(rates, flows) if li in f)
+        assert used <= cap * (1 + 1e-9)
+
+
+@given(allocation_problems())
+@settings(max_examples=200, deadline=None)
+def test_every_flow_gets_positive_rate(problem):
+    caps, flows = problem
+    rates = fair_rates(caps, flows)
+    assert all(r > 0 for r in rates)
+
+
+@given(allocation_problems())
+@settings(max_examples=200, deadline=None)
+def test_allocation_is_maximal(problem):
+    """Max-min fairness implies Pareto efficiency: every flow crosses at
+    least one saturated link."""
+    caps, flows = problem
+    rates = fair_rates(caps, flows)
+    usage = [0.0] * len(caps)
+    for r, f in zip(rates, flows):
+        for li in f:
+            usage[li] += r
+    for r, f in zip(rates, flows):
+        assert any(usage[li] >= caps[li] * (1 - 1e-6) for li in f)
+
+
+@given(allocation_problems())
+@settings(max_examples=100, deadline=None)
+def test_single_link_flows_get_equal_shares(problem):
+    caps, flows = problem
+    rates = fair_rates(caps, flows)
+    # Flows with identical link sets must receive identical rates.
+    seen: dict[tuple, float] = {}
+    for r, f in zip(rates, flows):
+        key = tuple(sorted(f))
+        if key in seen:
+            assert math.isclose(seen[key], r, rel_tol=1e-9, abs_tol=1e-12)
+        else:
+            seen[key] = r

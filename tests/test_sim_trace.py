@@ -1,0 +1,79 @@
+"""Tests for the interval trace recorder and ASCII Gantt rendering."""
+
+import pytest
+
+from repro.sim.trace import Interval, TraceRecorder, render_gantt
+
+
+def test_busy_time_merges_overlaps():
+    tr = TraceRecorder()
+    tr.interval("n0", "io", "a", 0.0, 5.0)
+    tr.interval("n0", "io", "b", 3.0, 8.0)   # overlaps -> union [0, 8)
+    tr.interval("n0", "io", "c", 10.0, 12.0)
+    assert tr.busy_time(lane="n0", kind="io") == pytest.approx(10.0)
+
+
+def test_busy_time_filters_by_kind_and_lane():
+    tr = TraceRecorder()
+    tr.interval("n0", "io", "a", 0.0, 4.0)
+    tr.interval("n0", "compute", "b", 0.0, 2.0)
+    tr.interval("n1", "io", "c", 0.0, 1.0)
+    # Union semantics across lanes: [0,4) U [0,1) = [0,4).
+    assert tr.busy_time(kind="io") == pytest.approx(4.0)
+    assert tr.busy_time(lane="n0") == pytest.approx(4.0)
+    assert tr.busy_time(lane="n1", kind="compute") == 0.0
+
+
+def test_counts_and_lanes():
+    tr = TraceRecorder()
+    tr.interval("n1", "load", "A00", 0.0, 1.0)
+    tr.interval("n0", "load", "A01", 0.0, 1.0)
+    tr.interval("n0", "mult", "x00", 1.0, 2.0)
+    assert tr.lanes() == ["n0", "n1"]
+    assert tr.count(kind="load") == 2
+    assert tr.count(lane="n0") == 2
+
+
+def test_invalid_interval_rejected():
+    tr = TraceRecorder()
+    with pytest.raises(ValueError):
+        tr.interval("n0", "io", "bad", 5.0, 1.0)
+
+
+def test_disabled_recorder_is_noop():
+    tr = TraceRecorder(enabled=False)
+    tr.interval("n0", "io", "a", 0.0, 1.0)
+    tr.point("n0", "sync", "s", 0.5)
+    assert tr.intervals == [] and tr.points == []
+
+
+def test_makespan():
+    tr = TraceRecorder()
+    assert tr.makespan() == 0.0
+    tr.interval("n0", "io", "a", 1.0, 9.0)
+    tr.interval("n1", "io", "b", 0.0, 4.0)
+    assert tr.makespan() == 9.0
+
+
+def test_render_gantt_has_one_row_per_lane():
+    ivs = [
+        Interval("P1", "load", "L(A00)", 0.0, 2.0),
+        Interval("P1", "mult", "x00", 2.0, 3.0),
+        Interval("P2", "load", "L(A10)", 0.0, 2.0),
+    ]
+    art = render_gantt(ivs, width=40)
+    lines = art.splitlines()
+    assert len(lines) == 3  # header + 2 lanes
+    assert lines[1].startswith("P1")
+    assert "l" in lines[1] and "m" in lines[1]
+    assert "m" not in lines[2]
+
+
+def test_render_gantt_empty():
+    assert render_gantt([]) == "(empty trace)"
+
+
+def test_render_gantt_glyph_override():
+    ivs = [Interval("P1", "load", "L", 0.0, 1.0)]
+    art = render_gantt(ivs, kind_glyphs={"load": "L"})
+    assert "L" in art

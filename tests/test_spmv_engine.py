@@ -1,0 +1,142 @@
+"""End-to-end: iterated SpMV through the DOoC engine on real files/threads."""
+
+import numpy as np
+import pytest
+
+from repro.core import DOoCEngine
+from repro.spmv.csr import CSRBlock
+from repro.spmv.generator import gap_uniform_csr
+from repro.spmv.partition import GridPartition, column_owner
+from repro.spmv.program import build_iterated_spmv
+from repro.spmv.reference import (
+    iterated_spmv_reference,
+    loads_back_and_forth_plan,
+    loads_regular_plan,
+)
+
+
+def make_problem(n=60, k=3, seed=0, density_per_row=6.0):
+    rng = np.random.default_rng(seed)
+    p = GridPartition(n, k)
+    from repro.spmv.generator import choose_gap_parameter
+    d = choose_gap_parameter(n, density_per_row)
+    import scipy.sparse as sp
+    global_m = gap_uniform_csr(n, n, d, rng)
+    blocks = p.split_matrix(global_m)
+    x0 = rng.normal(size=n)
+    return global_m, p, blocks, x0
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("policy", ["simple", "interleaved"])
+    def test_single_node_matches_reference(self, tmp_path, policy):
+        global_m, p, blocks, x0 = make_problem()
+        result = build_iterated_spmv(
+            blocks, p.split_vector(x0), iterations=3, n_nodes=1, policy=policy)
+        eng = DOoCEngine(n_nodes=1, workers_per_node=2, scratch_dir=tmp_path)
+        eng.run(result.program, timeout=120)
+        got = result.fetch_final(eng)
+        want = iterated_spmv_reference(global_m, x0, 3)
+        np.testing.assert_allclose(got, want, rtol=1e-9)
+
+    @pytest.mark.parametrize("policy", ["simple", "interleaved"])
+    def test_three_nodes_matches_reference(self, tmp_path, policy):
+        global_m, p, blocks, x0 = make_problem(n=90, k=3, seed=1)
+        result = build_iterated_spmv(
+            blocks, p.split_vector(x0), iterations=2, n_nodes=3, policy=policy)
+        eng = DOoCEngine(n_nodes=3, workers_per_node=2, scratch_dir=tmp_path)
+        report = eng.run(result.program, timeout=180)
+        got = result.fetch_final(eng)
+        want = iterated_spmv_reference(global_m, x0, 2)
+        np.testing.assert_allclose(got, want, rtol=1e-9)
+        # Vectors крест columns: remote fetches must have happened.
+        assert report.total_remote_fetches > 0
+
+    def test_single_iteration_identity_blocks(self, tmp_path):
+        # A = I partitioned 2x2: x1 must equal x0 exactly.
+        import scipy.sparse as sp
+        n, k = 16, 2
+        p = GridPartition(n, k)
+        blocks = p.split_matrix(CSRBlock.from_scipy(sp.identity(n, format="csr")))
+        x0 = np.arange(n, dtype=float)
+        result = build_iterated_spmv(blocks, p.split_vector(x0), iterations=1,
+                                     n_nodes=1)
+        eng = DOoCEngine(n_nodes=1, scratch_dir=tmp_path)
+        eng.run(result.program, timeout=60)
+        np.testing.assert_array_equal(result.fetch_final(eng), x0)
+
+
+class TestFig5LoadCounts:
+    """The back-and-forth schedule must emerge from the local scheduler."""
+
+    def run_fig5(self, tmp_path, iterations, k=3):
+        """One node owning a full k x k grid, memory for ~1 sub-matrix."""
+        global_m, p, blocks, x0 = make_problem(n=30 * k, k=k, seed=2)
+        result = build_iterated_spmv(
+            blocks, p.split_vector(x0), iterations=iterations, n_nodes=1,
+            policy="simple")
+        a_bytes = max(
+            len(__import__("repro.spmv.csrfile", fromlist=["serialize_csr"])
+                .serialize_csr(b)) for b in blocks.values())
+        # Budget: one sub-matrix + generous room for the (small) vectors.
+        vec_bytes = 8 * p.n * (k + 2) * (iterations + 1)
+        eng = DOoCEngine(
+            n_nodes=1, workers_per_node=1,
+            memory_budget_per_node=int(a_bytes * 1.5) + vec_bytes,
+            scratch_dir=tmp_path,
+        )
+        report = eng.run(result.program, timeout=300)
+        got = result.fetch_final(eng)
+        want = iterated_spmv_reference(global_m, x0, iterations)
+        np.testing.assert_allclose(got, want, rtol=1e-9)
+        # Matrix loads: count loads of A_* arrays only. Store stats count all
+        # loads; vectors spill too under this budget, so use per-array drops
+        # via the load ledger below.
+        return report
+
+    def test_matrix_loads_saved_versus_regular_plan(self, tmp_path):
+        iters = 3
+        report = self.run_fig5(tmp_path, iterations=iters)
+        k_local = 9  # all 9 sub-matrices on the single node
+        # First-touch loads happen from disk; with LIFO+residency ordering
+        # at least one sub-matrix per iteration transition is reused, so
+        # total loads stay below the naive plan.
+        regular = loads_regular_plan(k_local, iters)
+        assert report.store_stats[0].loads < regular + 1  # sanity ceiling
+
+    def test_back_and_forth_emerges_on_three_nodes(self, tmp_path):
+        """Fig. 5's exact setting: 3 nodes, each owning one grid column,
+        memory for one sub-matrix; per-node *matrix* loads must track the
+        back-and-forth count (3 first iteration, ~2 after), not 3/iter."""
+        iterations, k = 3, 3
+        # Dense-ish 50x50 blocks (~16 KB serialized) dwarf the 400 B
+        # vectors, so the budget below truly fits only one sub-matrix.
+        global_m, p, blocks, x0 = make_problem(n=150, k=k, seed=3,
+                                               density_per_row=20.0)
+        result = build_iterated_spmv(
+            blocks, p.split_vector(x0), iterations=iterations, n_nodes=k,
+            policy="simple", owner=column_owner(k, k))
+        from repro.spmv.csrfile import serialize_csr
+        a_bytes = max(len(serialize_csr(b)) for b in blocks.values())
+        eng = DOoCEngine(
+            n_nodes=k, workers_per_node=1,
+            memory_budget_per_node=int(a_bytes * 1.5) + 3000,
+            scratch_dir=tmp_path,
+        )
+        report = eng.run(result.program, timeout=300)
+        np.testing.assert_allclose(
+            result.fetch_final(eng),
+            iterated_spmv_reference(global_m, x0, iterations), rtol=1e-9)
+        matrix_loads = sum(
+            count
+            for stats in report.store_stats.values()
+            for array, count in stats.loads_by_array.items()
+            if array.startswith("A_")
+        )
+        naive = 3 * loads_regular_plan(k, iterations)            # 27
+        back_and_forth = 3 * loads_back_and_forth_plan(k, iterations)  # 21
+        # Scheduling races can cost an occasional extra load, but the
+        # reordering must beat the naive plan and track the Fig. 5b count.
+        assert matrix_loads < naive
+        assert matrix_loads >= back_and_forth - 3
+        assert matrix_loads <= back_and_forth + 3
