@@ -1,0 +1,63 @@
+"""Alloc-queue pump benchmark: drain a deep demand-allocation queue.
+
+Regression guard for the quadratic ``LocalStore._pump_allocs``: with a
+budget of one block and N queued write grants, every release pumps the
+queue.  The pump must make a *single pass* with a skip threshold — the
+old implementation restarted from the head after each admission and ran
+an LRU reclaim walk per blocked entry, so draining a deep queue cost
+O(n^2) thunk scans with redundant spill walks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.array import ArrayDesc
+from repro.core.interval import whole_block
+from repro.core.storage import LocalStore
+
+DEPTH = 400
+BLOCK = 64  # float64 elements -> 512 B per block
+
+
+def _drain_deep_queue(depth: int = DEPTH) -> LocalStore:
+    """Queue ``depth`` write grants behind one block of budget, then
+    release grants one by one so each release pumps the deep queue."""
+    store = LocalStore(0, memory_budget=BLOCK * 8)
+    descs = [ArrayDesc(f"q{i}", length=BLOCK, block_elems=BLOCK)
+             for i in range(depth)]
+    for d in descs:
+        store.create_array(d)
+
+    granted = []
+
+    def absorb(ticket, effects):
+        for e in effects:
+            if e.kind == "grant_write":
+                granted.append(e.ticket)
+            elif e.kind == "spill":
+                # Complete spills synchronously; follow-up effects are
+                # themselves grants or more spills.
+                absorb(None, store.on_spilled(e.array, e.block))
+
+    t, eff = store.request_write(whole_block(descs[0], 0))
+    absorb(t, eff)
+    for d in descs[1:]:
+        t, eff = store.request_write(whole_block(d, 0))
+        absorb(t, eff)
+
+    done = 0
+    while granted:
+        ticket = granted.pop(0)
+        ticket.data[:] = float(done)
+        absorb(None, store.release(ticket))
+        done += 1
+    assert done == depth, f"only {done}/{depth} grants completed"
+    assert store.alloc_queue_depth == 0
+    return store
+
+
+@pytest.mark.paper
+def bench_alloc_queue_pump(once):
+    store = once(_drain_deep_queue)
+    assert store.metrics.maximum("alloc_queue_depth") >= DEPTH - 1
+    assert np.isfinite(store.in_use)

@@ -13,7 +13,7 @@ from repro.core import DOoCEngine
 from repro.lanczos import OutOfCoreLanczos, lanczos
 from repro.spmv.csrfile import serialize_csr
 from repro.spmv.generator import choose_gap_parameter, gap_uniform_csr, symmetric_test_matrix
-from repro.spmv.partition import GridPartition, column_owner
+from repro.spmv.partition import GridPartition
 from repro.spmv.program import build_iterated_spmv
 from repro.spmv.reference import iterated_spmv_reference
 

@@ -9,6 +9,7 @@ Prints per-policy matrix-load counts against the Fig. 5 plans and
 validates the result against an in-core reference.
 
     python examples/out_of_core_spmv.py [--n 1500] [--iterations 3]
+    python examples/out_of_core_spmv.py --trace run.json   # chrome://tracing
 """
 
 import argparse
@@ -33,6 +34,10 @@ def main() -> None:
     parser.add_argument("--n", type=int, default=1500, help="matrix dimension")
     parser.add_argument("--iterations", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="export the 'simple'-policy run as a Chrome trace JSON "
+             "(open with chrome://tracing or https://ui.perfetto.dev)")
     args = parser.parse_args()
 
     k = 3
@@ -60,10 +65,15 @@ def main() -> None:
                 n_nodes=k, workers_per_node=1,
                 memory_budget_per_node=int(1.5 * a_bytes) + 64 * args.n,
                 scratch_dir=scratch,
+                trace=bool(args.trace),
             )
             report = engine.run(result.program, timeout=600)
             got = result.fetch_final(engine)
         np.testing.assert_allclose(got, want, rtol=1e-9)
+        if args.trace and policy == "simple":
+            report.save_chrome_trace(args.trace)
+            print(f"[{policy:11s}] trace: {len(report.trace_events)} events "
+                  f"-> {args.trace}")
         matrix_loads = sum(
             c for s in report.store_stats.values()
             for a, c in s.loads_by_array.items() if a.startswith("A_")

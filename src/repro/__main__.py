@@ -1,9 +1,10 @@
-"""Command-line entry point: regenerate paper artefacts.
+"""Command-line entry point: regenerate paper artefacts, inspect traces.
 
     python -m repro list
     python -m repro table1
     python -m repro table3 --nodes 1 4 9
     python -m repro all --quick
+    python -m repro trace run.trace.jsonl -o run.json
 """
 
 from __future__ import annotations
@@ -18,6 +19,10 @@ _NEEDS_NODES = {"table3", "table4", "fig6", "fig7", "colocated", "energy"}
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "trace":
+        from repro.obs.cli import main as trace_main
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures of Zhou et al., ICPP 2012.",

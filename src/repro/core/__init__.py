@@ -26,6 +26,7 @@ from repro.core.array import ArrayDesc
 from repro.core.errors import (
     DoocError,
     ImmutabilityError,
+    StallError,
     StorageError,
     UnknownArrayError,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "Program",
     "DoocError",
     "StorageError",
+    "StallError",
     "ImmutabilityError",
     "UnknownArrayError",
 ]

@@ -36,7 +36,7 @@ import numpy as np
 from repro.core.array import ArrayDesc
 from repro.core.dag import TaskDAG
 from repro.core.directory import DirectoryClient
-from repro.core.errors import DoocError, SchedulingError, StorageError
+from repro.core.errors import DoocError, SchedulingError, StallError, StorageError
 from repro.core.global_scheduler import GlobalScheduler
 from repro.core.interval import Interval, intervals_for_range, whole_array
 from repro.core.iofilter import IOFilter, read_block, write_array
@@ -48,6 +48,14 @@ from repro.datacutter.errors import StreamClosedError
 from repro.datacutter.filters import Filter, FilterContext
 from repro.datacutter.layout import DistributionPolicy, Layout
 from repro.datacutter.runtime import ThreadedRuntime
+from repro.obs import (
+    Diagnosis,
+    StallWatchdog,
+    TraceEvent,
+    Tracer,
+    export_chrome_trace,
+    save_events_jsonl,
+)
 from repro.util.rng import RngTree
 
 __all__ = ["Program", "DOoCEngine", "RunReport"]
@@ -162,12 +170,14 @@ class _StorageFilter(Filter):
     inputs = ("req", "io_done", "peer_in")
 
     def __init__(self, node: int, n_nodes: int, store: LocalStore,
-                 directory: DirectoryClient, descs: dict[str, ArrayDesc]):
+                 directory: DirectoryClient, descs: dict[str, ArrayDesc],
+                 tracer: Optional[Tracer] = None):
         self.node = node
         self.n_nodes = n_nodes
         self.store = store
         self.directory = directory
         self.descs = descs
+        self.tracer = tracer or Tracer(enabled=False)
         self.outputs = ("rep_workers", "rep_lsched", "io_cmd") + tuple(
             f"peer_out_{j}" for j in range(n_nodes) if j != node
         )
@@ -177,6 +187,9 @@ class _StorageFilter(Filter):
         self._awaiting_owner: dict[str, list[int]] = {}
         # arrays whose GC delete raced an in-flight pin; retried on release
         self._gc_pending: set[str] = set()
+        # (op, array, block) -> tracer start time of the in-flight transfer
+        self._io_started: dict[tuple[str, str, int], float] = {}
+        self._last_queue_depth = 0
 
     # -- helpers --------------------------------------------------------------
 
@@ -211,22 +224,45 @@ class _StorageFilter(Filter):
         for e in effects:
             if e.kind == "load":
                 self._outstanding_io += 1
+                self._io_started[("load", e.array, e.block)] = self.tracer.now()
                 ctx.write("io_cmd", DataBuffer(
                     {"op": "load", "desc": self.descs[e.array], "block": e.block}))
             elif e.kind == "spill":
                 self._outstanding_io += 1
+                self._io_started[("spill", e.array, e.block)] = self.tracer.now()
                 ctx.write("io_cmd", DataBuffer(
                     {"op": "store", "desc": self.descs[e.array], "block": e.block,
                      "data": e.data}))
             elif e.kind == "drop":
-                pass  # memory already reclaimed by the store
+                # Memory already reclaimed by the store; tell the local
+                # scheduler so it can re-arm the array's prefetch (an
+                # evicted-after-prefetch block otherwise sat invisible in
+                # its `_prefetched` set until the stall recovery kicked in).
+                self.tracer.instant(self.node, "storage", "storage", "drop",
+                                    array=e.array, block=e.block)
+                if not self._draining:
+                    ctx.write("rep_lsched", DataBuffer(
+                        {"op": "dropped", "array": e.array}))
             elif e.kind == "fetch_remote":
+                self._io_started[("fetch", e.array, e.block)] = self.tracer.now()
                 self._start_fetch(ctx, e.array, e.block)
             elif e.kind in ("grant_read", "grant_write"):
                 assert e.ticket is not None
                 self._reply(ctx, e.ticket.tag, {"op": "grant", "ticket": e.ticket})
             else:  # pragma: no cover - defensive
                 raise StorageError(f"unknown effect {e.kind!r}")
+        depth = self.store.alloc_queue_depth
+        if depth != self._last_queue_depth:
+            self._last_queue_depth = depth
+            self.tracer.counter(self.node, "storage", "storage",
+                                "alloc_queue", depth)
+
+    def _end_io_span(self, name: str, key: tuple[str, str, int],
+                     array: str, block: int) -> None:
+        start = self._io_started.pop(key, None)
+        if start is not None:
+            self.tracer.complete(self.node, "storage", "storage", name,
+                                 start, array=array, block=block)
 
     def _start_fetch(self, ctx: FilterContext, array: str, block: int) -> None:
         # The global map is partitioned, not replicated: this node does not
@@ -276,6 +312,9 @@ class _StorageFilter(Filter):
             ticket.tag = ("peer", msg["from"])
             self._execute(ctx, effects)
         elif op == "blockdata":
+            self._end_io_span("fetch_remote",
+                              ("fetch", msg["array"], msg["block"]),
+                              msg["array"], msg["block"])
             self._execute(ctx, self.store.on_remote_data(
                 msg["array"], msg["block"], msg["data"]))
             self._wake_scheduler(ctx)
@@ -298,8 +337,14 @@ class _StorageFilter(Filter):
                     self._try_delete(ctx, name)
         elif op == "prefetch":
             desc = self.descs[msg["array"]]
+            dropped_before = self.store.metrics.get("prefetch_dropped")
             for iv in whole_array(desc):
                 self._execute(ctx, self.store.prefetch(iv))
+            dropped = self.store.metrics.get("prefetch_dropped") - dropped_before
+            if dropped:
+                self.tracer.instant(self.node, "storage", "sched",
+                                    "prefetch_dropped",
+                                    array=msg["array"], blocks=dropped)
         elif op == "map":
             ctx.write("rep_lsched", DataBuffer(
                 {"op": "map", "resident": self.store.resident_arrays()}))
@@ -340,9 +385,15 @@ class _StorageFilter(Filter):
             else:  # io_done
                 self._outstanding_io -= 1
                 if msg["op"] == "loaded":
+                    self._end_io_span(
+                        "load", ("load", msg["desc"].name, msg["block"]),
+                        msg["desc"].name, msg["block"])
                     self._execute(ctx, self.store.on_loaded(
                         msg["desc"].name, msg["block"], msg["data"]))
                 elif msg["op"] == "stored":
+                    self._end_io_span(
+                        "spill", ("spill", msg["desc"].name, msg["block"]),
+                        msg["desc"].name, msg["block"])
                     self._execute(ctx, self.store.on_spilled(
                         msg["desc"].name, msg["block"]))
                 # "unlinked": nothing to do beyond the accounting above
@@ -386,13 +437,17 @@ class _WorkerFilter(Filter):
     inputs = ("in", "from_storage")
     outputs = ("to_storage", "to_lsched")
 
-    def __init__(self, descs: dict[str, ArrayDesc]):
+    def __init__(self, node: int, descs: dict[str, ArrayDesc],
+                 tracer: Optional[Tracer] = None):
+        self.node = node
         self.descs = descs
+        self.tracer = tracer or Tracer(enabled=False)
 
     # -- storage round-trips ----------------------------------------------------
 
     def _request_all(self, ctx: FilterContext, op: str,
                      intervals: list[Interval]) -> list[Ticket]:
+        start = self.tracer.now()
         for iv in intervals:
             ctx.write("to_storage", DataBuffer(
                 {"op": op, "interval": iv,
@@ -405,6 +460,9 @@ class _WorkerFilter(Filter):
             msg = buf.payload
             assert msg["op"] == "grant"
             granted.append(msg["ticket"])
+        self.tracer.complete(
+            self.node, f"worker/{ctx.instance}", "task", "grant_wait", start,
+            op=op, array=intervals[0].array, intervals=len(intervals))
         # Order grants to match the request order.
         by_iv = {(t.interval.array, t.interval.block, t.interval.lo): t
                  for t in granted}
@@ -466,7 +524,11 @@ class _WorkerFilter(Filter):
             if msg["op"] == "shutdown":
                 return
             task: TaskSpec = msg["task"]
+            started = self.tracer.now()
             self._run_task(ctx, task)
+            self.tracer.complete(
+                self.node, f"worker/{ctx.instance}", "task", "task", started,
+                task=task.name)
             ctx.write("to_lsched", DataBuffer(
                 {"op": "done", "task": task.name,
                  "parent": task.meta.get("parent")}))
@@ -495,16 +557,25 @@ class _LocalSchedulerFilter(Filter):
 
     def __init__(self, node: int, workers: int,
                  nbytes: dict[str, int], *, prefetch_depth: int = 2,
-                 reorder: bool = True):
+                 reorder: bool = True, tracer: Optional[Tracer] = None):
         self.core = LocalSchedulerCore(node, prefetch_depth=prefetch_depth,
                                        reorder=reorder)
         self.node = node
         self.workers = workers
         self.nbytes = nbytes
+        self.tracer = tracer or Tracer(enabled=False)
         self._idle: list[int] = []
         self._parents: dict[str, int] = {}  # parent task -> remaining subtasks
         self._inflight = 0
         self._stall = 0
+
+    def _on_storage_note(self, msg: dict) -> None:
+        """A push notification from storage (not a map reply)."""
+        if msg["op"] == "dropped":
+            # The block was evicted: re-arm its prefetch instead of waiting
+            # for the stall-recovery reset to notice.
+            self.core.forget_prefetch(msg["array"])
+        # "wake": residency changed; the caller re-runs dispatch anyway.
 
     def _query_map(self, ctx: FilterContext) -> set[str]:
         ctx.write("to_storage", DataBuffer({"op": "map"}))
@@ -514,8 +585,9 @@ class _LocalSchedulerFilter(Filter):
                 return set()
             if buf.payload["op"] == "map":
                 return buf.payload["resident"]
-            # "wake" notifications racing the reply are absorbed here; the
-            # dispatch about to run uses the fresher map anyway.
+            # "wake"/"dropped" notifications racing the reply are absorbed
+            # here; the dispatch about to run uses the fresher map anyway.
+            self._on_storage_note(buf.payload)
 
     def _choose(self, resident: set[str]) -> Optional[TaskSpec]:
         ranked = self.core.rank(resident, self.nbytes)
@@ -542,6 +614,8 @@ class _LocalSchedulerFilter(Filter):
             resident = self._query_map(ctx)
             # Keep upcoming tasks warm regardless of whether we dispatch.
             for array in self.core.prefetch_plan(resident, self.nbytes):
+                self.tracer.instant(self.node, "sched", "sched", "prefetch",
+                                    array=array)
                 ctx.write("to_storage", DataBuffer(
                     {"op": "prefetch", "array": array}))
             task = self._choose(resident)
@@ -561,8 +635,19 @@ class _LocalSchedulerFilter(Filter):
                     continue
                 worker = self._idle.pop(0)
                 self._inflight += 1
+                self.tracer.instant(self.node, "sched", "task", "dispatch",
+                                    task=sub.name, worker=worker)
                 ctx.write("to_workers", DataBuffer(
                     {"op": "task", "task": sub}, {"__dest__": worker}))
+
+    def debug_snapshot(self) -> dict:
+        """Scheduler-side state for the stall watchdog (best effort)."""
+        return {
+            "ready_tasks": sorted(t.name for t in self.core.pending_tasks()),
+            "inflight": self._inflight,
+            "idle_workers": len(self._idle),
+            "stall_ticks": self._stall,
+        }
 
     def _on_done(self, ctx: FilterContext, msg: dict) -> None:
         self._inflight -= 1
@@ -586,6 +671,8 @@ class _LocalSchedulerFilter(Filter):
             except TimeoutError:
                 # Idle tick: count starvation, re-arm dropped prefetches.
                 self._stall += 1
+                self.tracer.instant(self.node, "sched", "sched", "stall_tick",
+                                    ticks=self._stall)
                 if self._stall >= self.STALL_TICKS:
                     self.core.reset_prefetch()
                 self._dispatch(ctx)
@@ -602,7 +689,7 @@ class _LocalSchedulerFilter(Filter):
                     continue
                 self.core.add_ready(msg["task"])
             elif port == "from_storage":
-                pass  # wake: a block landed; just re-run dispatch
+                self._on_storage_note(msg)  # wake/dropped; then re-dispatch
             else:
                 if msg["op"] == "idle":
                     self._idle.append(msg["inst"])
@@ -690,6 +777,12 @@ class RunReport:
     assignment: dict[str, int]
     store_stats: dict[int, StoreStats]
     stream_stats: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: per-node metrics registry snapshots (supersede ``store_stats``)
+    metrics: dict[int, dict] = field(default_factory=dict)
+    #: structured runtime events (empty unless tracing was enabled)
+    trace_events: list[TraceEvent] = field(default_factory=list)
+    #: last watchdog diagnosis, when a mid-run stall was observed
+    diagnosis: Optional[Diagnosis] = None
 
     @property
     def total_loads(self) -> int:
@@ -702,6 +795,16 @@ class RunReport:
     @property
     def total_remote_fetches(self) -> int:
         return sum(s.remote_fetches for s in self.store_stats.values())
+
+    # -- trace persistence ---------------------------------------------------
+
+    def save_trace(self, path: "str | Path") -> Path:
+        """Write raw trace events as JSONL (``python -m repro trace <file>``)."""
+        return save_events_jsonl(self.trace_events, path)
+
+    def save_chrome_trace(self, path: "str | Path") -> Path:
+        """Write a ``chrome://tracing`` / Perfetto JSON file."""
+        return export_chrome_trace(self.trace_events, path)
 
 
 class DOoCEngine:
@@ -719,6 +822,8 @@ class DOoCEngine:
         rng_seed: int = 0,
         gc_arrays: bool = False,
         scheduler_reorder: bool = True,
+        trace: "bool | Tracer" = False,
+        watchdog_quiet_s: Optional[float] = 10.0,
     ):
         if n_nodes < 1 or workers_per_node < 1 or io_filters_per_node < 1:
             raise DoocError("n_nodes, workers and I/O filters must be >= 1")
@@ -729,6 +834,12 @@ class DOoCEngine:
         self.prefetch_depth = prefetch_depth
         self.gc_arrays = gc_arrays
         self.scheduler_reorder = scheduler_reorder
+        #: ``trace=True`` records the run timeline (see repro.obs); a
+        #: caller-provided Tracer is used as-is (e.g. a sim-clocked one).
+        self.tracer = trace if isinstance(trace, Tracer) else Tracer(enabled=bool(trace))
+        #: quiet seconds before the stall watchdog dumps a diagnosis;
+        #: None disables the watchdog entirely.
+        self.watchdog_quiet_s = watchdog_quiet_s
         self.rng = RngTree(rng_seed)
         if scratch_dir is None:
             self._tmp = tempfile.TemporaryDirectory(prefix="dooc-")
@@ -803,15 +914,48 @@ class DOoCEngine:
 
         layout = self._build_layout(program, dag, assignment, directories, nbytes)
         runtime = ThreadedRuntime(layout)
+        watchdog = self._build_watchdog(runtime)
+        self.tracer.instant(-1, "engine", "run", "phase",
+                            phase="start", program=program.name)
         started = time.monotonic()
-        runtime.run(timeout=timeout)
+        try:
+            if watchdog is not None:
+                watchdog.start()
+            runtime.run(timeout=timeout)
+        except TimeoutError as exc:
+            # Replace the runtime's opaque timeout with the watchdog's view
+            # of who is stuck (blocked tickets, queued allocations, ready
+            # pools); StallError still `is a` TimeoutError for old callers.
+            diagnosis = watchdog.diagnose() if watchdog is not None else None
+            message = str(exc)
+            if diagnosis is not None:
+                message = f"{message}\n{diagnosis.render()}"
+            raise StallError(message, diagnosis) from exc
+        finally:
+            if watchdog is not None:
+                watchdog.stop()
+        self.tracer.instant(-1, "engine", "run", "phase", phase="end")
         wall = time.monotonic() - started
         return RunReport(
             wall_seconds=wall,
             assignment=assignment,
             store_stats={n: s.stats for n, s in self.stores.items()},
             stream_stats=runtime.stream_stats(),
+            metrics={n: s.metrics.as_dict() for n, s in self.stores.items()},
+            trace_events=self.tracer.drain(),
+            diagnosis=watchdog.last_diagnosis if watchdog is not None else None,
         )
+
+    def _build_watchdog(self, runtime: ThreadedRuntime) -> Optional[StallWatchdog]:
+        if not self.watchdog_quiet_s:
+            return None
+        watchdog = StallWatchdog(self.tracer, quiet_s=self.watchdog_quiet_s)
+        for node, store in self.stores.items():
+            watchdog.watch_store(node, store)
+        for node in range(self.n_nodes):
+            lsched = runtime.instances[f"lsched@{node}"][0].filter
+            watchdog.watch_scheduler(node, lsched.debug_snapshot)
+        return watchdog
 
     def _build_layout(self, program: Program, dag: TaskDAG,
                       assignment: dict[str, int],
@@ -829,11 +973,12 @@ class DOoCEngine:
             layout.add_filter(
                 f"storage@{node}",
                 lambda node=node, store=store, directory=directory: _StorageFilter(
-                    node, n, store, directory, self._descs),
+                    node, n, store, directory, self._descs, self.tracer),
             )
             layout.add_filter(
                 f"io@{node}",
-                lambda scratch=scratch: IOFilter(scratch),
+                lambda node=node, scratch=scratch: IOFilter(
+                    scratch, node=node, tracer=self.tracer),
                 instances=self.io_filters_per_node,
                 replicable=True,
             )
@@ -842,11 +987,12 @@ class DOoCEngine:
                 lambda node=node: _LocalSchedulerFilter(
                     node, self.workers_per_node, nbytes,
                     prefetch_depth=self.prefetch_depth,
-                    reorder=self.scheduler_reorder),
+                    reorder=self.scheduler_reorder,
+                    tracer=self.tracer),
             )
             layout.add_filter(
                 f"worker@{node}",
-                lambda: _WorkerFilter(self._descs),
+                lambda node=node: _WorkerFilter(node, self._descs, self.tracer),
                 instances=self.workers_per_node,
                 replicable=True,
             )

@@ -19,3 +19,16 @@ class UnknownArrayError(StorageError):
 
 class SchedulingError(DoocError):
     """Task-graph or scheduler inconsistency (cycles, unknown producers...)."""
+
+
+class StallError(DoocError, TimeoutError):
+    """A run timed out; carries the watchdog's stall diagnosis.
+
+    Subclasses ``TimeoutError`` so callers that caught the engine's old
+    bare timeout keep working; ``diagnosis`` (when a watchdog was active)
+    names the blocked tickets, queued allocations and ready pools.
+    """
+
+    def __init__(self, message: str, diagnosis=None):
+        super().__init__(message)
+        self.diagnosis = diagnosis

@@ -14,10 +14,13 @@ from pathlib import Path
 
 import numpy as np
 
+from typing import Optional
+
 from repro.core.array import ArrayDesc
 from repro.core.errors import StorageError
 from repro.datacutter.buffers import END_OF_STREAM, DataBuffer
 from repro.datacutter.filters import Filter, FilterContext
+from repro.obs import Tracer
 
 _SUFFIX = ".arr"
 
@@ -116,10 +119,15 @@ class IOFilter(Filter):
     inputs = ("in",)
     outputs = ("out",)
 
-    def __init__(self, scratch: Path):
+    def __init__(self, scratch: Path, *, node: int = -1,
+                 tracer: Optional[Tracer] = None):
         self.scratch = Path(scratch)
+        self.node = node
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
 
     def process(self, ctx: FilterContext) -> None:
+        tracer = self.tracer
+        lane = f"io/{ctx.instance}"
         while True:
             buf = ctx.read("in")
             if buf is END_OF_STREAM:
@@ -127,18 +135,25 @@ class IOFilter(Filter):
             cmd = buf.payload
             desc: ArrayDesc = cmd["desc"]
             block: int = cmd["block"]
+            start = tracer.now()
             if cmd["op"] == "load":
                 data = read_block(self.scratch, desc, block)
+                tracer.complete(self.node, lane, "io", "read", start,
+                                array=desc.name, block=block)
                 ctx.write("out", DataBuffer(
                     {"op": "loaded", "desc": desc, "block": block, "data": data,
                      "token": cmd.get("token")}))
             elif cmd["op"] == "store":
                 write_block(self.scratch, desc, block, cmd["data"])
+                tracer.complete(self.node, lane, "io", "write", start,
+                                array=desc.name, block=block)
                 ctx.write("out", DataBuffer(
                     {"op": "stored", "desc": desc, "block": block,
                      "token": cmd.get("token")}))
             elif cmd["op"] == "unlink":
                 delete_array_file(self.scratch, desc.name)
+                tracer.complete(self.node, lane, "io", "unlink", start,
+                                array=desc.name)
                 ctx.write("out", DataBuffer(
                     {"op": "unlinked", "desc": desc, "block": -1,
                      "token": cmd.get("token")}))

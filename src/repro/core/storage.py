@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.array import ArrayDesc
 from repro.core.errors import ImmutabilityError, StorageError, UnknownArrayError
 from repro.core.interval import Interval, Permission
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["Effect", "Ticket", "LocalStore", "StoreStats"]
 
@@ -68,7 +69,13 @@ class Ticket:
 
 @dataclass
 class StoreStats:
-    """Operational counters (used by experiments and tests)."""
+    """Operational counters (used by experiments and tests).
+
+    Since the :mod:`repro.obs` metrics registry took over the live
+    accounting, this is a *compatibility view*: ``LocalStore.stats``
+    materializes one from ``LocalStore.metrics`` on each access.  Existing
+    readers (`.loads`, `.loads_by_array`, ...) keep working unchanged.
+    """
 
     loads: int = 0
     spills: int = 0
@@ -76,6 +83,7 @@ class StoreStats:
     remote_fetches: int = 0
     read_hits: int = 0   # read grants served without waiting for I/O
     read_waits: int = 0  # read grants that had to wait (load/seal/fetch)
+    prefetch_dropped: int = 0  # prefetches the store declined (no headroom)
     bytes_loaded: int = 0
     bytes_spilled: int = 0
     loads_by_array: dict[str, int] = field(default_factory=dict)
@@ -84,6 +92,21 @@ class StoreStats:
         self.loads += 1
         self.bytes_loaded += nbytes
         self.loads_by_array[array] = self.loads_by_array.get(array, 0) + 1
+
+    @classmethod
+    def from_metrics(cls, metrics: MetricsRegistry) -> "StoreStats":
+        return cls(
+            loads=metrics.get("loads"),
+            spills=metrics.get("spills"),
+            drops=metrics.get("drops"),
+            remote_fetches=metrics.get("remote_fetches"),
+            read_hits=metrics.get("read_hits"),
+            read_waits=metrics.get("read_waits"),
+            prefetch_dropped=metrics.get("prefetch_dropped"),
+            bytes_loaded=metrics.get("bytes_loaded"),
+            bytes_spilled=metrics.get("bytes_spilled"),
+            loads_by_array=metrics.labeled("loads"),
+        )
 
 
 # Block residency states
@@ -159,7 +182,12 @@ class LocalStore:
         self._write_tickets: dict[tuple[str, int], list[Ticket]] = {}
         # FIFO of (needed_bytes, thunk) waiting for memory; thunk returns effects.
         self._alloc_queue: deque[tuple[int, Any]] = deque()
-        self.stats = StoreStats()
+        self.metrics = MetricsRegistry(node)
+
+    @property
+    def stats(self) -> StoreStats:
+        """Compatibility view over :attr:`metrics` (see :class:`StoreStats`)."""
+        return StoreStats.from_metrics(self.metrics)
 
     # -- array registration ----------------------------------------------------
 
@@ -191,21 +219,30 @@ class LocalStore:
         self._remote_arrays.add(desc.name)
 
     def delete_array(self, name: str) -> list[Effect]:
-        """Forget an array; its resident blocks are freed, disk copy dropped."""
+        """Forget an array; its resident blocks are freed, disk copy dropped.
+
+        Deletion is atomic: every block is validated before any state is
+        touched, so a pinned or in-flight block raises with residency,
+        ``in_use`` and the block table unchanged (the failed delete is
+        retried by the driver once the pin is released).
+        """
         desc = self._desc(name)
-        effects: list[Effect] = []
-        for b in desc.blocks():
-            st = self._blocks.get((name, b))
-            if st is None:
-                continue
+        states = [
+            st for b in desc.blocks()
+            if (st := self._blocks.get((name, b))) is not None
+        ]
+        for st in states:
             if st.pinned or st.status in (_LOADING, _SPILLING, _FETCHING):
                 raise StorageError(
-                    f"cannot delete {name!r}: block {b} is in use on node {self.node}"
+                    f"cannot delete {name!r}: block {st.block} is in use "
+                    f"on node {self.node}"
                 )
+        effects: list[Effect] = []
+        for st in states:
             if st.data is not None:
                 self._free(st)
-            effects.append(Effect("drop", name, b))
-            del self._blocks[(name, b)]
+            effects.append(Effect("drop", name, st.block))
+            del self._blocks[(name, st.block)]
         del self.arrays[name]
         self._remote_arrays.discard(name)
         effects.extend(self._pump_allocs())
@@ -276,7 +313,13 @@ class LocalStore:
             st.readers -= 1
         else:
             st.writers -= 1
-            self._write_tickets[(iv.array, iv.block)].remove(ticket)
+            key = (iv.array, iv.block)
+            outstanding = self._write_tickets[key]
+            outstanding.remove(ticket)
+            if not outstanding:
+                # Drop the emptied entry: without this the dict gained one
+                # dead key per written block for the life of the store.
+                del self._write_tickets[key]
             st.add_written(iv.lo, iv.hi)
             effects.extend(self._wake_readers(st))
         effects.extend(self._pump_allocs())
@@ -298,6 +341,7 @@ class LocalStore:
         if st.status == _RESIDENT or st.status in (_LOADING, _FETCHING):
             return []
         if st.status == _SPILLING:
+            self.metrics.inc("prefetch_dropped")
             return []  # will be dropped; re-request later
         if st.on_disk:
             return self._alloc_then(st, lambda: self._begin_load(st),
@@ -315,7 +359,8 @@ class LocalStore:
         if st.status != _LOADING:
             raise StorageError(f"unexpected load completion for {array}[{block}]")
         self._install(st, data)
-        self.stats.record_load(array, st.nbytes)
+        self.metrics.inc("loads", label=array)
+        self.metrics.inc("bytes_loaded", st.nbytes)
         effects = self._wake_readers(st)
         # The block just became evictable (if unpinned): queued allocations
         # may now be satisfiable by reclaiming it.
@@ -329,7 +374,7 @@ class LocalStore:
             raise StorageError(f"unexpected fetch completion for {array}[{block}]")
         self._install(st, data)
         st.remote = True
-        self.stats.remote_fetches += 1
+        self.metrics.inc("remote_fetches")
         effects = self._wake_readers(st)
         effects.extend(self._pump_allocs())
         return effects
@@ -340,8 +385,8 @@ class LocalStore:
         if st.status != _SPILLING:
             raise StorageError(f"unexpected spill completion for {array}[{block}]")
         st.on_disk = True
-        self.stats.spills += 1
-        self.stats.bytes_spilled += st.nbytes
+        self.metrics.inc("spills")
+        self.metrics.inc("bytes_spilled", st.nbytes)
         if st.pinned:
             # Someone requested it again while it was being written out;
             # keep the resident copy.
@@ -400,6 +445,52 @@ class LocalStore:
         st = self._blocks.get((name, block))
         return bool(st is not None and st.on_disk)
 
+    @property
+    def alloc_queue_depth(self) -> int:
+        return len(self._alloc_queue)
+
+    def _why_blocked(self, st: _BlockState) -> str:
+        if st.status in (_LOADING, _FETCHING):
+            return f"{st.status} in flight"
+        if st.status == _SPILLING:
+            return "spill in flight"
+        if st.status == _RESIDENT:
+            return "awaiting writer release of the requested range"
+        if st.on_disk:
+            return "load not yet started (allocation queued?)"
+        if st.desc.name in self._remote_arrays:
+            return "remote fetch not yet started"
+        return "read-before-write: range never written"
+
+    def debug_snapshot(self) -> dict:
+        """Structured liveness dump for the stall watchdog.
+
+        Called from the watchdog thread while the owning filter may be
+        mutating the store, so it only reads (shallow copies first) and the
+        caller tolerates exceptions from torn iterations.
+        """
+        blocked_reads = []
+        for (name, block), st in list(self._blocks.items()):
+            for t in list(st.read_waiters):
+                blocked_reads.append({
+                    "ticket": t.tid, "array": name, "block": block,
+                    "lo": t.interval.lo, "hi": t.interval.hi,
+                    "why": self._why_blocked(st),
+                })
+        write_tickets = [
+            {"ticket": t.tid, "array": a, "block": b, "granted": t.granted}
+            for (a, b), tickets in list(self._write_tickets.items())
+            for t in list(tickets)
+        ]
+        alloc_queue = [{"bytes": need} for need, _ in list(self._alloc_queue)]
+        return {
+            "in_use": self.in_use,
+            "budget": self.budget,
+            "blocked_reads": blocked_reads,
+            "write_tickets": write_tickets,
+            "alloc_queue": alloc_queue,
+        }
+
     # -- internals ----------------------------------------------------------------------
 
     def _outstanding_writes(self, array: str, block: int) -> list[Ticket]:
@@ -427,9 +518,9 @@ class LocalStore:
         iv = ticket.interval
         st.lru = next(self._clock)
         if st.status == _RESIDENT and st.covers(iv.lo, iv.hi):
-            self.stats.read_hits += 1
+            self.metrics.inc("read_hits")
             return [self._grant_read(st, ticket)]
-        self.stats.read_waits += 1
+        self.metrics.inc("read_waits")
         st.read_waiters.append(ticket)
         if st.status in (_LOADING, _FETCHING, _SPILLING):
             return []  # grant will follow the in-flight transition
@@ -515,6 +606,8 @@ class LocalStore:
             if self.in_use + need <= self.budget:
                 result = thunk()
                 effects.extend([result] if isinstance(result, Effect) else result)
+            else:
+                self.metrics.inc("prefetch_dropped")
             return effects
         if self.in_use + need > self.budget:
             effects.extend(self._reclaim(self.in_use + need - self.budget))
@@ -523,6 +616,8 @@ class LocalStore:
             effects.extend([result] if isinstance(result, Effect) else result)
         else:
             self._alloc_queue.append((need, thunk))
+            self.metrics.inc("allocs_queued")
+            self.metrics.observe_max("alloc_queue_depth", len(self._alloc_queue))
         return effects
 
     def _begin_load(self, st: _BlockState) -> list[Effect]:
@@ -557,7 +652,7 @@ class LocalStore:
                 freed += st.nbytes
                 self._free(st)
                 st.status = _ABSENT
-                self.stats.drops += 1
+                self.metrics.inc("drops")
                 effects.append(Effect("drop", st.desc.name, st.block))
             else:
                 # Dirty (never persisted): must spill before the memory is
@@ -576,22 +671,41 @@ class LocalStore:
         head would starve a small one whose completion is the only way the
         large one's memory ever frees (tasks pin their inputs while waiting
         for output grants).
+
+        Each round is a *single pass* over the queue with a skip threshold:
+        once an entry of ``need`` bytes fails to fit even after a reclaim,
+        every remaining entry at least as large is skipped for the rest of
+        the pass — admissions only consume memory, so retrying them can
+        only fail again.  (The previous implementation restarted the scan
+        from the head after every admission and re-ran the LRU reclaim
+        scan per entry per restart: O(n²) thunk scans with redundant spill
+        walks on deep queues.)  A further round runs only if the previous
+        one admitted something, which may have dropped enough clean blocks
+        to unblock a previously skipped entry.
         """
         effects: list[Effect] = []
         progress = True
         while progress and self._alloc_queue:
             progress = False
-            for i, (need, thunk) in enumerate(self._alloc_queue):
+            min_failed: Optional[int] = None  # smallest need that failed
+            still_blocked: deque[tuple[int, Any]] = deque()
+            while self._alloc_queue:
+                need, thunk = self._alloc_queue.popleft()
+                if min_failed is not None and need >= min_failed:
+                    still_blocked.append((need, thunk))
+                    continue
                 if self.in_use + need > self.budget:
                     effects.extend(
                         self._reclaim(self.in_use + need - self.budget))
                 if self.in_use + need <= self.budget:
-                    del self._alloc_queue[i]
                     result = thunk()
                     if isinstance(result, Effect):
                         effects.append(result)
                     else:
                         effects.extend(result)
                     progress = True
-                    break
+                else:
+                    min_failed = need
+                    still_blocked.append((need, thunk))
+            self._alloc_queue = still_blocked
         return effects

@@ -12,10 +12,11 @@ Two artefacts are produced:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import re
+from dataclasses import dataclass, field
 from pathlib import Path
 from tempfile import TemporaryDirectory
-from typing import Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -41,6 +42,27 @@ class Fig5Result:
     engine_matrix_loads_total: int
     engine_matrix_loads_naive_total: int
     correct: bool
+    #: per node, the *row indices* of sub-matrix loads in timestamp order
+    #: (from the run trace) — the figure's traversal direction, not just
+    #: its load count
+    engine_load_order: Dict[int, List[int]] = field(default_factory=dict)
+    #: raw trace events of the engine run (obs schema)
+    trace_events: list = field(default_factory=list)
+
+
+_A_LOAD = re.compile(r"^A_(\d+)_(\d+)$")
+
+
+def matrix_load_order(trace_events) -> Dict[int, List[int]]:
+    """Per-node sequence of sub-matrix row indices, from storage.load spans."""
+    order: Dict[int, List[int]] = {}
+    for e in sorted(trace_events, key=lambda e: e.ts):
+        if e.cat != "storage" or e.name != "load":
+            continue
+        m = _A_LOAD.match(str(e.args.get("array", "")))
+        if m:
+            order.setdefault(e.node, []).append(int(m.group(1)))
+    return order
 
 
 def run(*, iterations: int = 3, seed: int = 3,
@@ -62,6 +84,7 @@ def run(*, iterations: int = 3, seed: int = 3,
             n_nodes=k, workers_per_node=1,
             memory_budget_per_node=int(a_bytes * 1.5) + 3000,
             scratch_dir=scratch_dir or tmp,
+            trace=True,
         )
         report = eng.run(result.program, timeout=300)
         got = result.fetch_final(eng)
@@ -80,6 +103,8 @@ def run(*, iterations: int = 3, seed: int = 3,
         engine_matrix_loads_total=matrix_loads,
         engine_matrix_loads_naive_total=k * loads_regular_plan(k, iterations),
         correct=bool(np.allclose(got, want, rtol=1e-9)),
+        engine_load_order=matrix_load_order(report.trace_events),
+        trace_events=report.trace_events,
     )
 
 

@@ -1,0 +1,60 @@
+"""Bridge from the DES testbed's interval traces to the obs event schema.
+
+The simulator records :class:`repro.sim.trace.Interval` activities on
+cluster lanes (``n3`` / ``io`` / ``compute`` ...); the threaded engine
+records :class:`~repro.obs.tracer.TraceEvent` records.  This module maps
+the former onto the latter so simulated and real runs export the *same*
+Chrome-trace schema and can be compared side by side in one viewer.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.obs.tracer import TraceEvent
+from repro.sim.trace import Interval, Point, TraceRecorder
+
+__all__ = ["events_from_sim_trace"]
+
+_NODE_RE = re.compile(r"^n(\d+)$")
+
+#: sim (kind, label) -> obs (cat, name); unmapped kinds pass through as
+#: cat="sim" with the kind as the name.
+_KIND_MAP = {
+    "io": ("storage", "load"),
+    "compute": ("task", "task"),
+    "send": ("storage", "fetch_remote"),
+    "recv": ("storage", "fetch_remote"),
+}
+
+
+def _node_of(lane: str) -> int:
+    m = _NODE_RE.match(lane)
+    return int(m.group(1)) if m else -1
+
+
+def _convert_interval(iv: Interval) -> TraceEvent:
+    cat, name = _KIND_MAP.get(iv.kind, ("sim", iv.kind))
+    if iv.kind == "io" and iv.label == "prefetch":
+        cat, name = "sched", "prefetch"
+    return TraceEvent(
+        ts=iv.start, node=_node_of(iv.lane), lane=iv.kind, cat=cat,
+        name=name, ph="X", dur=iv.duration, args={"label": iv.label},
+    )
+
+
+def _convert_point(pt: Point) -> TraceEvent:
+    return TraceEvent(
+        ts=pt.time, node=_node_of(pt.lane), lane=pt.kind, cat="run",
+        name="phase", ph="i", args={"label": pt.label},
+    )
+
+
+def events_from_sim_trace(trace: TraceRecorder) -> list[TraceEvent]:
+    """Convert a simulation trace into schema events (sim timestamps)."""
+    events: Iterable[TraceEvent] = (
+        [_convert_interval(iv) for iv in trace.intervals]
+        + [_convert_point(pt) for pt in trace.points]
+    )
+    return sorted(events, key=lambda e: (e.ts, e.node, e.lane))

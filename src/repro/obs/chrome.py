@@ -1,0 +1,166 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) export.
+
+Converts :class:`~repro.obs.tracer.TraceEvent` lists into the Trace Event
+Format JSON object form (``{"traceEvents": [...]}``): ``pid`` is the DOoC
+node, ``tid`` the lane within the node, timestamps/durations are
+microseconds.  Also provides the raw-event JSONL save/load pair used by
+``python -m repro trace`` and a validator used by the tests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.obs.tracer import SCHEMA_VERSION, TraceEvent
+
+__all__ = [
+    "to_chrome",
+    "export_chrome_trace",
+    "load_chrome_trace",
+    "validate_chrome_trace",
+    "save_events_jsonl",
+    "load_events_jsonl",
+    "normalize_chrome_trace",
+]
+
+_US = 1e6  # seconds -> microseconds
+
+#: chrome phases we emit; "M" is metadata added by the exporter itself
+_PHASES = {"X", "i", "C", "M"}
+
+
+def _node_label(node: int) -> str:
+    return "engine" if node < 0 else f"node{node}"
+
+
+def to_chrome(events: Iterable[TraceEvent]) -> dict:
+    """Build the Trace Event Format document for ``events``."""
+    events = list(events)
+    out: list[dict] = []
+    seen_pids: dict[int, None] = {}
+    for e in events:
+        seen_pids.setdefault(e.node)
+        rec = {
+            "name": e.name,
+            "cat": e.cat,
+            "ph": e.ph,
+            "ts": round(e.ts * _US, 3),
+            "pid": e.node,
+            "tid": e.lane,
+        }
+        if e.ph == "X":
+            rec["dur"] = round(e.dur * _US, 3)
+        if e.ph == "C":
+            rec["args"] = {"value": e.args.get("value", 0)}
+        elif e.args:
+            rec["args"] = dict(e.args)
+        if e.ph == "i":
+            rec["s"] = "t"  # thread-scoped instant
+        out.append(rec)
+    meta = [
+        {"name": "process_name", "ph": "M", "pid": pid,
+         "args": {"name": _node_label(pid)}}
+        for pid in sorted(seen_pids)
+    ]
+    return {
+        "traceEvents": meta + out,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "schema_version": SCHEMA_VERSION},
+    }
+
+
+def export_chrome_trace(events: Iterable[TraceEvent],
+                        path: Union[str, Path]) -> Path:
+    """Write ``events`` as a Chrome-trace JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome(events), indent=1))
+    return path
+
+
+def load_chrome_trace(path: Union[str, Path]) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def validate_chrome_trace(doc: dict) -> list[dict]:
+    """Check Trace-Event-Format shape; returns the event list.
+
+    Raises ``ValueError`` on the first structural problem — the test
+    suite's guarantee that exported files actually open in a viewer.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("not a Chrome trace: missing 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for i, rec in enumerate(events):
+        if not isinstance(rec, dict):
+            raise ValueError(f"event {i} is not an object")
+        ph = rec.get("ph")
+        if ph not in _PHASES:
+            raise ValueError(f"event {i} has unknown phase {ph!r}")
+        if "name" not in rec or "pid" not in rec:
+            raise ValueError(f"event {i} lacks name/pid")
+        if ph != "M":
+            ts = rec.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"event {i} has bad ts {ts!r}")
+            if ph == "X" and not isinstance(rec.get("dur"), (int, float)):
+                raise ValueError(f"event {i} is 'X' without numeric dur")
+    return events
+
+
+def normalize_chrome_trace(doc: dict) -> dict:
+    """Timestamp-free form for golden-file comparison.
+
+    Real timestamps vary run to run; replace each distinct ``ts`` with its
+    rank and each ``dur`` with a presence marker, keeping names, phases,
+    categories, pids, tids and args — the schema under test.
+    """
+    events = validate_chrome_trace(doc)
+    stamps = sorted({rec["ts"] for rec in events if "ts" in rec})
+    rank = {ts: i for i, ts in enumerate(stamps)}
+    norm = []
+    for rec in events:
+        item = dict(rec)
+        if "ts" in item:
+            item["ts"] = rank[item["ts"]]
+        if "dur" in item:
+            item["dur"] = "<dur>"
+        norm.append(item)
+    return {
+        "traceEvents": norm,
+        "displayTimeUnit": doc.get("displayTimeUnit", "ms"),
+        "otherData": doc.get("otherData", {}),
+    }
+
+
+# -- raw event persistence ----------------------------------------------------
+
+
+def save_events_jsonl(events: Iterable[TraceEvent],
+                      path: Union[str, Path]) -> Path:
+    """One JSON object per line; the lossless on-disk form of a run trace."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"schema_version": SCHEMA_VERSION}) + "\n")
+        for e in events:
+            fh.write(json.dumps(e.to_json()) + "\n")
+    return path
+
+
+def load_events_jsonl(path: Union[str, Path]) -> list[TraceEvent]:
+    events: list[TraceEvent] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if "schema_version" in obj and "ts" not in obj:
+                continue  # header line
+            events.append(TraceEvent.from_json(obj))
+    return events

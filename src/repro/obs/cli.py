@@ -1,0 +1,96 @@
+"""``python -m repro trace`` — inspect and convert run traces.
+
+    python -m repro trace run.trace.jsonl              # summary
+    python -m repro trace run.trace.jsonl -o run.json  # -> chrome://tracing
+    python -m repro trace run.json                     # summary of a Chrome trace
+
+Accepts either the raw JSONL written by ``RunReport.save_trace`` or an
+already-exported Chrome-trace JSON file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.obs.chrome import (
+    export_chrome_trace,
+    load_events_jsonl,
+    validate_chrome_trace,
+)
+from repro.obs.tracer import TraceEvent
+
+
+def _load(path: Path) -> list[TraceEvent]:
+    text_head = path.open().read(512).lstrip()
+    if text_head.startswith("{") and '"traceEvents"' in path.read_text():
+        doc = json.loads(path.read_text())
+        records = validate_chrome_trace(doc)
+        events = []
+        for rec in records:
+            if rec.get("ph") == "M":
+                continue
+            events.append(TraceEvent(
+                ts=rec["ts"] / 1e6, node=int(rec["pid"]),
+                lane=str(rec.get("tid", "?")), cat=rec.get("cat", "?"),
+                name=rec["name"], ph=rec["ph"],
+                dur=rec.get("dur", 0.0) / 1e6, args=rec.get("args", {}),
+            ))
+        return events
+    return load_events_jsonl(path)
+
+
+def _summary(events: list[TraceEvent]) -> str:
+    if not events:
+        return "(empty trace)"
+    lines = []
+    t0 = min(e.ts for e in events)
+    t1 = max(e.ts + e.dur for e in events)
+    nodes = sorted({e.node for e in events})
+    lines.append(
+        f"{len(events)} events, {len(nodes)} node(s), "
+        f"span {t1 - t0:.3f}s"
+    )
+    by_node: dict[int, Counter] = {}
+    for e in events:
+        by_node.setdefault(e.node, Counter())[f"{e.cat}.{e.name}"] += 1
+    for node in nodes:
+        label = "engine" if node < 0 else f"node{node}"
+        counts = ", ".join(
+            f"{name} x{n}" for name, n in sorted(by_node[node].items()))
+        lines.append(f"  {label}: {counts}")
+    busy: dict[str, float] = {}
+    for e in events:
+        if e.ph == "X":
+            busy[f"{e.cat}.{e.name}"] = busy.get(f"{e.cat}.{e.name}", 0.0) + e.dur
+    if busy:
+        lines.append("busy time (summed spans):")
+        for name, dur in sorted(busy.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {name:24s} {dur:9.3f}s")
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Summarize a run trace or convert it for chrome://tracing.",
+    )
+    parser.add_argument("run", help="trace file: raw .jsonl or Chrome-trace .json")
+    parser.add_argument(
+        "-o", "--out", default=None,
+        help="write a Chrome-trace JSON file here (open in chrome://tracing)")
+    args = parser.parse_args(argv)
+    path = Path(args.run)
+    if not path.exists():
+        parser.error(f"no such trace file: {path}")
+    try:
+        events = _load(path)
+    except (json.JSONDecodeError, ValueError, KeyError) as exc:
+        parser.error(f"cannot parse {path} as a trace: {exc}")
+    print(_summary(events))
+    if args.out:
+        out = export_chrome_trace(events, args.out)
+        print(f"chrome trace written to {out}")
+    return 0

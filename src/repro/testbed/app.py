@@ -131,6 +131,7 @@ def run_testbed_spmv(
     seed: int = 0,
     oversubscribe: int = 1,
     trace_sink: Optional[list] = None,
+    tracer=None,
 ) -> TestbedRow:
     """Simulate one testbed run and return its table row.
 
@@ -138,6 +139,9 @@ def run_testbed_spmv(
     data on each physical node — the Fig. 7 "star" runs the 36-node matrix
     on 9 nodes with ``oversubscribe=4``.  Pass a list as ``trace_sink`` to
     receive the full :class:`~repro.sim.trace.TraceRecorder` (Gantt data).
+    Pass a :class:`repro.obs.Tracer` as ``tracer`` to receive the run's
+    timeline in the engine's trace-event schema (sim clock as timestamps),
+    ready for ``RunReport``-style Chrome export.
     """
     if policy not in ("simple", "interleaved"):
         raise ValueError(f"unknown policy {policy!r}")
@@ -346,4 +350,7 @@ def run_testbed_spmv(
     )
     if trace_sink is not None:
         trace_sink.append(trace)
+    if tracer is not None:
+        from repro.obs import events_from_sim_trace
+        tracer.ingest(events_from_sim_trace(trace))
     return row

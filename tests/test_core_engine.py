@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import DOoCEngine, DoocError, Program
-from repro.core.task import TaskSpec, task as mktask
-from repro.util import MiB
+from repro.core.task import TaskSpec
 
 
 def scale_fn(factor):

@@ -6,7 +6,7 @@ import pytest
 
 from repro.__main__ import main as cli_main
 from repro.core import DOoCEngine
-from repro.datacutter import DataBuffer, END_OF_STREAM, Filter, Layout, ThreadedRuntime
+from repro.datacutter import END_OF_STREAM, Filter, Layout, ThreadedRuntime
 from repro.spmv.generator import choose_gap_parameter, gap_uniform_csr
 from repro.spmv.partition import GridPartition
 from repro.spmv.program import build_iterated_spmv

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.lanczos import OutOfCoreLanczos, lanczos
-from repro.spmv.csr import CSRBlock
 from repro.spmv.generator import symmetric_test_matrix
 from repro.spmv.partition import GridPartition
 

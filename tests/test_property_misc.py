@@ -4,7 +4,6 @@ determinism, dataflow fuzz."""
 import itertools
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

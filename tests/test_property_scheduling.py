@@ -1,7 +1,6 @@
 """Property tests for interval algebra and the scheduler decision cores."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import Environment, Event, Interrupt, SimulationError
-from repro.sim.kernel import AllOf, AnyOf
+from repro.sim.kernel import AllOf
 
 
 def test_timeout_ordering_and_values():
