@@ -22,6 +22,7 @@ carry the full surface:
 
 from repro.core import DOoCEngine, Program
 from repro.datacutter import DataBuffer, Filter, Layout, ThreadedRuntime
+from repro.faults import FaultPlan, RetryPolicy
 from repro.lanczos import OutOfCoreLanczos, lanczos
 from repro.spmv import CSRBlock, GridPartition, build_iterated_spmv
 from repro.testbed import run_testbed_spmv
@@ -35,6 +36,8 @@ __all__ = [
     "Filter",
     "Layout",
     "ThreadedRuntime",
+    "FaultPlan",
+    "RetryPolicy",
     "CSRBlock",
     "GridPartition",
     "build_iterated_spmv",

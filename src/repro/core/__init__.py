@@ -26,8 +26,10 @@ from repro.core.array import ArrayDesc
 from repro.core.errors import (
     DoocError,
     ImmutabilityError,
+    IOFailedError,
     StallError,
     StorageError,
+    TaskFailedError,
     UnknownArrayError,
 )
 from repro.core.interval import Interval
@@ -46,5 +48,7 @@ __all__ = [
     "StorageError",
     "StallError",
     "ImmutabilityError",
+    "IOFailedError",
+    "TaskFailedError",
     "UnknownArrayError",
 ]

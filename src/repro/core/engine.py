@@ -35,10 +35,22 @@ import numpy as np
 
 from repro.core.array import ArrayDesc
 from repro.core.dag import TaskDAG
-from repro.core.directory import DirectoryClient
-from repro.core.errors import DoocError, SchedulingError, StallError, StorageError
+from repro.core.directory import DirectoryClient, LookupFailed
+from repro.core.errors import (
+    DoocError,
+    IOFailedError,
+    SchedulingError,
+    StallError,
+    StorageError,
+    TaskFailedError,
+)
 from repro.core.global_scheduler import GlobalScheduler
-from repro.core.interval import Interval, intervals_for_range, whole_array
+from repro.core.interval import (
+    Interval,
+    Permission,
+    intervals_for_range,
+    whole_array,
+)
 from repro.core.iofilter import IOFilter, read_block, write_array
 from repro.core.local_scheduler import LocalSchedulerCore
 from repro.core.storage import Effect, LocalStore, StoreStats, Ticket
@@ -48,6 +60,8 @@ from repro.datacutter.errors import StreamClosedError
 from repro.datacutter.filters import Filter, FilterContext
 from repro.datacutter.layout import DistributionPolicy, Layout
 from repro.datacutter.runtime import ThreadedRuntime
+from repro.faults import FaultInjector, FaultPlan, InjectedTaskCrash, RetryPolicy
+from repro.obs.metrics import MetricsRegistry
 from repro.obs import (
     Diagnosis,
     StallWatchdog,
@@ -165,19 +179,36 @@ class Program:
 
 
 class _StorageFilter(Filter):
-    """Per-node storage service: the event loop around LocalStore."""
+    """Per-node storage service: the event loop around LocalStore.
+
+    Besides the fault-free protocol, this filter owns the node's peer-fault
+    recovery: unanswered fetches and owner lookups are retransmitted after
+    ``RETRANSMIT_S`` (a lost message must not strand a read waiter), and
+    exhausted I/O retries arriving as ``io_error`` replies are turned into
+    fail-fast ticket denials instead of stalls.  All of the recovery
+    machinery is dormant — no clock reads, no timed waits — while the
+    pending sets are empty, so fault-free runs pay nothing for it.
+    """
 
     inputs = ("req", "io_done", "peer_in")
 
+    #: read_any timeout while recovery work (delayed sends, unanswered
+    #: fetches/lookups) is pending; the read blocks indefinitely otherwise
+    RETRY_TICK_S = 0.05
+    #: seconds before an unanswered fetch or lookup is retransmitted
+    RETRANSMIT_S = 0.25
+
     def __init__(self, node: int, n_nodes: int, store: LocalStore,
                  directory: DirectoryClient, descs: dict[str, ArrayDesc],
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 injector: Optional[FaultInjector] = None):
         self.node = node
         self.n_nodes = n_nodes
         self.store = store
         self.directory = directory
         self.descs = descs
         self.tracer = tracer or Tracer(enabled=False)
+        self.injector = injector
         self.outputs = ("rep_workers", "rep_lsched", "io_cmd") + tuple(
             f"peer_out_{j}" for j in range(n_nodes) if j != node
         )
@@ -190,15 +221,35 @@ class _StorageFilter(Filter):
         # (op, array, block) -> tracer start time of the in-flight transfer
         self._io_started: dict[tuple[str, str, int], float] = {}
         self._last_queue_depth = 0
+        # injected-delay holding pen: (due monotonic time, peer, payload)
+        self._delayed: list[tuple[float, int, dict]] = []
+        # (array, block) -> (retransmit deadline, owner) of in-flight fetches
+        self._fetch_pending: dict[tuple[str, int], tuple[float, int]] = {}
+        # array -> (retransmit deadline, probed peer) of in-flight lookups
+        self._lookup_pending: dict[str, tuple[float, int]] = {}
 
     # -- helpers --------------------------------------------------------------
 
-    def _peer_write(self, ctx: FilterContext, peer: int, payload: dict) -> None:
+    def _peer_send(self, ctx: FilterContext, peer: int, payload: dict) -> None:
         try:
             ctx.write(f"peer_out_{peer}", DataBuffer(payload))
         except StreamClosedError:
             if not self._draining:
                 raise  # only tolerable while winding down
+
+    def _peer_write(self, ctx: FilterContext, peer: int, payload: dict) -> None:
+        if self.injector is not None and not self._draining:
+            fate = self.injector.peer_fault(
+                peer, payload["op"], payload.get("array"),
+                payload.get("block", -1))
+            if fate is not None:
+                kind, delay_s = fate
+                if kind == "drop":
+                    return
+                self._delayed.append(
+                    (time.monotonic() + delay_s, peer, payload))
+                return
+        self._peer_send(ctx, peer, payload)
 
     def _reply(self, ctx: FilterContext, tag, payload: dict) -> None:
         kind = tag[0]
@@ -249,6 +300,23 @@ class _StorageFilter(Filter):
             elif e.kind in ("grant_read", "grant_write"):
                 assert e.ticket is not None
                 self._reply(ctx, e.ticket.tag, {"op": "grant", "ticket": e.ticket})
+            elif e.kind == "deny":
+                assert e.ticket is not None
+                tag = e.ticket.tag
+                iv = e.ticket.interval
+                self.tracer.instant(self.node, "storage", "storage", "deny",
+                                    array=iv.array, block=iv.block,
+                                    error=e.error)
+                if tag[0] == "peer":
+                    self._peer_write(ctx, tag[1], {
+                        "op": "fetch_failed", "array": iv.array,
+                        "block": iv.block, "error": e.error})
+                elif tag[0] == "worker":
+                    ctx.write("rep_workers", DataBuffer(
+                        {"op": "error", "array": iv.array, "block": iv.block,
+                         "error": e.error}, {"__dest__": tag[1]}))
+                else:  # pragma: no cover - defensive
+                    raise StorageError(f"unroutable deny tag {tag!r}")
             else:  # pragma: no cover - defensive
                 raise StorageError(f"unknown effect {e.kind!r}")
         depth = self.store.alloc_queue_depth
@@ -270,15 +338,67 @@ class _StorageFilter(Filter):
         # the random-peer walk (cached after the first resolution).
         cached = self.directory.start_lookup(array, 0)
         if cached is not None:
-            self._peer_write(ctx, cached, {
-                "op": "fetch", "array": array, "block": block, "from": self.node})
+            self._send_fetch(ctx, cached, array, block)
             return
         pending = self._awaiting_owner.setdefault(array, [])
         pending.append(block)
         if len(pending) == 1:  # first block starts the walk
+            self._probe_next(ctx, array)
+
+    def _send_fetch(self, ctx: FilterContext, owner: int, array: str,
+                    block: int) -> None:
+        self._fetch_pending[(array, block)] = (
+            time.monotonic() + self.RETRANSMIT_S, owner)
+        self._peer_write(ctx, owner, {
+            "op": "fetch", "array": array, "block": block, "from": self.node})
+
+    def _probe_next(self, ctx: FilterContext, array: str) -> None:
+        """Advance (or restart) the owner walk for ``array``."""
+        try:
             peer = self.directory.next_probe(array, 0)
-            self._peer_write(ctx, peer, {
-                "op": "lookup", "array": array, "from": self.node})
+        except LookupFailed:
+            # Every peer answered "miss": possible transiently while a
+            # reroute's rehome propagates, or after message loss confused
+            # the walk.  Restart the walk instead of giving up — a genuine
+            # orphan shows up as lookup_restarts climbing in the diagnosis.
+            self.store.metrics.inc("lookup_restarts")
+            self.tracer.instant(self.node, "storage", "storage",
+                                "lookup_restart", array=array)
+            self.directory.start_lookup(array, 0)
+            peer = self.directory.next_probe(array, 0)
+        self._lookup_pending[array] = (
+            time.monotonic() + self.RETRANSMIT_S, peer)
+        self._peer_write(ctx, peer, {
+            "op": "lookup", "array": array, "from": self.node})
+
+    def _tick(self, ctx: FilterContext) -> None:
+        """Flush due delayed messages; retransmit overdue fetches/lookups."""
+        now = time.monotonic()
+        if self._delayed:
+            due = [d for d in self._delayed if d[0] <= now]
+            if due:
+                self._delayed = [d for d in self._delayed if d[0] > now]
+                for _, peer, payload in due:
+                    self._peer_send(ctx, peer, payload)
+        for key, (deadline, owner) in list(self._fetch_pending.items()):
+            if deadline <= now:
+                array, block = key
+                self._fetch_pending[key] = (now + self.RETRANSMIT_S, owner)
+                self.store.metrics.inc("fetch_retransmits")
+                self.tracer.instant(self.node, "storage", "storage",
+                                    "fetch_retry", array=array, block=block,
+                                    owner=owner)
+                self._peer_write(ctx, owner, {
+                    "op": "fetch", "array": array, "block": block,
+                    "from": self.node})
+        for array, (deadline, peer) in list(self._lookup_pending.items()):
+            if deadline <= now:
+                self._lookup_pending[array] = (now + self.RETRANSMIT_S, peer)
+                self.store.metrics.inc("lookup_retransmits")
+                self.tracer.instant(self.node, "storage", "storage",
+                                    "lookup_retry", array=array, peer=peer)
+                self._peer_write(ctx, peer, {
+                    "op": "lookup", "array": array, "from": self.node})
 
     def _handle_peer(self, ctx: FilterContext, msg: dict) -> None:
         op = msg["op"]
@@ -289,34 +409,49 @@ class _StorageFilter(Filter):
                 "owner": self.node})
         elif op == "lookup_reply":
             array = msg["array"]
+            self._lookup_pending.pop(array, None)
             if array not in self._awaiting_owner:
-                return  # walk abandoned (drain)
+                return  # walk abandoned (drain) or duplicate reply
             if msg["hit"]:
                 self.directory.probe_hit(array, 0, msg["owner"])
                 for block in self._awaiting_owner.pop(array):
-                    self._peer_write(ctx, msg["owner"], {
-                        "op": "fetch", "array": array, "block": block,
-                        "from": self.node})
+                    self._send_fetch(ctx, msg["owner"], array, block)
             else:
                 self.directory.probe_miss(array, 0)
-                peer = self.directory.next_probe(array, 0)
-                self._peer_write(ctx, peer, {
-                    "op": "lookup", "array": array, "from": self.node})
+                self._probe_next(ctx, array)
         elif op == "fetch":
             if self._draining:
                 return  # requester is winding down too; drop the request
-            iv_desc = self.descs[msg["array"]]
-            lo, hi = iv_desc.block_bounds(msg["block"])
-            ticket, effects = self.store.request_read(
-                Interval(msg["array"], msg["block"], lo, hi))
+            try:
+                iv_desc = self.descs[msg["array"]]
+                lo, hi = iv_desc.block_bounds(msg["block"])
+                ticket, effects = self.store.request_read(
+                    Interval(msg["array"], msg["block"], lo, hi))
+            except StorageError as exc:
+                # e.g. the array was GC'd or rehomed away after the
+                # requester cached this node as the owner: tell it so its
+                # read waiters fail fast instead of wedging.
+                self._peer_write(ctx, msg["from"], {
+                    "op": "fetch_failed", "array": msg["array"],
+                    "block": msg["block"], "error": repr(exc)})
+                return
             ticket.tag = ("peer", msg["from"])
             self._execute(ctx, effects)
         elif op == "blockdata":
+            self._fetch_pending.pop((msg["array"], msg["block"]), None)
             self._end_io_span("fetch_remote",
                               ("fetch", msg["array"], msg["block"]),
                               msg["array"], msg["block"])
             self._execute(ctx, self.store.on_remote_data(
                 msg["array"], msg["block"], msg["data"]))
+            self._wake_scheduler(ctx)
+        elif op == "fetch_failed":
+            array, block = msg["array"], msg["block"]
+            self._fetch_pending.pop((array, block), None)
+            # The cached owner may be stale (reroute): next fetch re-walks.
+            self.directory.invalidate(array)
+            self._execute(ctx, self.store.on_fetch_failed(
+                array, block, msg["error"]))
             self._wake_scheduler(ctx)
         else:  # pragma: no cover - defensive
             raise StorageError(f"unknown peer op {op!r}")
@@ -324,10 +459,27 @@ class _StorageFilter(Filter):
     def _handle_request(self, ctx: FilterContext, msg: dict) -> None:
         op = msg["op"]
         if op in ("read", "write"):
-            if op == "read":
-                ticket, effects = self.store.request_read(msg["interval"])
-            else:
-                ticket, effects = self.store.request_write(msg["interval"])
+            try:
+                if op == "read":
+                    ticket, effects = self.store.request_read(msg["interval"])
+                else:
+                    ticket, effects = self.store.request_write(msg["interval"])
+            except StorageError as exc:
+                # A rejected request (e.g. a re-dispatched task's write
+                # racing its output's rehome) is reported to the worker,
+                # whose failure path retries the attempt; it must not kill
+                # the storage filter.
+                iv = msg["interval"]
+                tag = msg["reply_to"]
+                if tag[0] != "worker":
+                    raise
+                self.tracer.instant(self.node, "storage", "storage",
+                                    "request_rejected", array=iv.array,
+                                    block=iv.block, error=repr(exc))
+                ctx.write("rep_workers", DataBuffer(
+                    {"op": "error", "array": iv.array, "block": iv.block,
+                     "error": repr(exc)}, {"__dest__": tag[1]}))
+                return
             ticket.tag = msg["reply_to"]
             self._execute(ctx, effects)
         elif op == "release":
@@ -335,6 +487,19 @@ class _StorageFilter(Filter):
             if self._gc_pending:
                 for name in list(self._gc_pending):
                     self._try_delete(ctx, name)
+        elif op == "abandon":
+            # A failed task retracts a granted-but-unpublished write.
+            self._execute(ctx, self.store.abandon_write(msg["ticket"]))
+            if self._gc_pending:
+                for name in list(self._gc_pending):
+                    self._try_delete(ctx, name)
+        elif op == "rehome":
+            self._handle_rehome(ctx, msg["array"], msg["home"])
+        elif op == "ensure":
+            # Reroute prep: the new execution node needs a remote handle
+            # for each input array it has never seen.
+            if msg["home"] != self.node:
+                self.store.ensure_remote(self.descs[msg["array"]])
         elif op == "prefetch":
             desc = self.descs[msg["array"]]
             dropped_before = self.store.metrics.get("prefetch_dropped")
@@ -357,12 +522,31 @@ class _StorageFilter(Filter):
             # their blocks.
             self._draining = True
             self._awaiting_owner.clear()
+            self._delayed.clear()
+            self._fetch_pending.clear()
+            self._lookup_pending.clear()
             self.store.abandon_pending_allocs()
             for j in range(self.n_nodes):
                 if j != self.node:
                     ctx.close(f"peer_out_{j}")
         else:  # pragma: no cover - defensive
             raise StorageError(f"unknown storage op {op!r}")
+
+    def _handle_rehome(self, ctx: FilterContext, array: str,
+                       home: int) -> None:
+        """A rerouted task's output array moved to a new home node."""
+        self.directory.invalidate(array)
+        self._awaiting_owner.pop(array, None)
+        self._lookup_pending.pop(array, None)
+        for key in [k for k in self._fetch_pending if k[0] == array]:
+            del self._fetch_pending[key]
+        if home == self.node:
+            effects = self.store.rehome_local(self.descs[array])
+        else:
+            effects = self.store.rehome_remote(array)
+        self.tracer.instant(self.node, "storage", "storage", "rehome",
+                            array=array, home=home)
+        self._execute(ctx, effects)
 
     def process(self, ctx: FilterContext) -> None:
         ports = ["req", "io_done", "peer_in"]
@@ -374,7 +558,18 @@ class _StorageFilter(Filter):
                 # in-flight release/peer message is still processed.
                 ctx.close("io_cmd")
                 io_closed = True
-            port, buf = ctx.read_any(ports)
+            recovery = bool(self._delayed or self._fetch_pending
+                            or self._lookup_pending)
+            try:
+                port, buf = ctx.read_any(
+                    ports, timeout=self.RETRY_TICK_S if recovery else None)
+            except TimeoutError:
+                self._tick(ctx)
+                continue
+            if recovery:
+                # Heavy traffic can starve the timeout path; check the
+                # deadlines between messages too.
+                self._tick(ctx)
             if buf is END_OF_STREAM:
                 break
             msg = buf.payload
@@ -396,6 +591,8 @@ class _StorageFilter(Filter):
                         msg["desc"].name, msg["block"])
                     self._execute(ctx, self.store.on_spilled(
                         msg["desc"].name, msg["block"]))
+                elif msg["op"] == "io_error":
+                    self._on_io_error(ctx, msg)
                 # "unlinked": nothing to do beyond the accounting above
                 if self._gc_pending and not self._draining:
                     # A finished load/spill may have unpinned a to-be-deleted
@@ -405,6 +602,24 @@ class _StorageFilter(Filter):
                 self._wake_scheduler(ctx)
         if not io_closed:
             ctx.close("io_cmd")
+
+    def _on_io_error(self, ctx: FilterContext, msg: dict) -> None:
+        """An I/O command exhausted its retries: fail the blocked tickets."""
+        name = msg["desc"].name
+        failed = msg["failed_op"]
+        span_op = {"load": "load", "store": "spill", "unlink": "unlink"}[failed]
+        self._io_started.pop((span_op, name, msg["block"]), None)
+        self.tracer.instant(self.node, "storage", "storage", "io_failed",
+                            op=failed, array=name, block=msg["block"],
+                            error=msg["error"])
+        if failed == "load":
+            self._execute(ctx, self.store.on_load_failed(
+                name, msg["block"], msg["error"]))
+        elif failed == "store":
+            self._execute(ctx, self.store.on_spill_failed(
+                name, msg["block"], msg["error"]))
+        # A failed unlink leaves a stale scratch file behind; harmless,
+        # since rediscovery is gated on array registration.
 
     def _try_delete(self, ctx: FilterContext, name: str) -> None:
         """Delete an array; if a block is still pinned (a GC message can
@@ -432,34 +647,62 @@ class _StorageFilter(Filter):
 
 
 class _WorkerFilter(Filter):
-    """Executes task bodies against storage-granted views."""
+    """Executes task bodies against storage-granted views.
+
+    A task attempt that fails — an injected crash, a task-body exception,
+    or a storage ``error`` reply after the I/O layer exhausted its retries —
+    is *unwound* rather than allowed to kill the filter: every read grant
+    is released, every write grant is abandoned (its ranges were never
+    published, thanks to write-once semantics), and a ``failed`` report
+    goes to the local scheduler, which re-dispatches the task.
+    """
 
     inputs = ("in", "from_storage")
     outputs = ("to_storage", "to_lsched")
 
     def __init__(self, node: int, descs: dict[str, ArrayDesc],
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 injector: Optional[FaultInjector] = None):
         self.node = node
         self.descs = descs
         self.tracer = tracer or Tracer(enabled=False)
+        self.injector = injector
 
     # -- storage round-trips ----------------------------------------------------
 
     def _request_all(self, ctx: FilterContext, op: str,
-                     intervals: list[Interval]) -> list[Ticket]:
+                     intervals: list[Interval],
+                     held: list[Ticket]) -> list[Ticket]:
+        """Request every interval; collect one reply (grant or error) each.
+
+        Grants are appended to ``held`` as they arrive so that a failure
+        mid-batch leaves no ticket untracked; the batch always drains all
+        its replies before raising, so nothing remains outstanding.
+        """
         start = self.tracer.now()
         for iv in intervals:
             ctx.write("to_storage", DataBuffer(
                 {"op": op, "interval": iv,
                  "reply_to": ("worker", ctx.instance)}))
         granted: list[Ticket] = []
-        while len(granted) < len(intervals):
+        failure: Optional[dict] = None
+        replies = 0
+        while replies < len(intervals):
             buf = ctx.read("from_storage")
             if buf is END_OF_STREAM:
-                raise StorageError("storage closed while awaiting grants")
+                raise StreamClosedError(
+                    "storage replies closed while awaiting grants")
             msg = buf.payload
-            assert msg["op"] == "grant"
-            granted.append(msg["ticket"])
+            replies += 1
+            if msg["op"] == "grant":
+                granted.append(msg["ticket"])
+                held.append(msg["ticket"])
+            else:  # "error": the backing I/O failed past its retry budget
+                failure = msg
+        if failure is not None:
+            raise IOFailedError(
+                f"{op} of {failure['array']}[{failure['block']}] failed: "
+                f"{failure['error']}")
         self.tracer.complete(
             self.node, f"worker/{ctx.instance}", "task", "grant_wait", start,
             op=op, array=intervals[0].array, intervals=len(intervals))
@@ -472,6 +715,20 @@ class _WorkerFilter(Filter):
         for t in tickets:
             ctx.write("to_storage", DataBuffer({"op": "release", "ticket": t}))
 
+    def _abort(self, ctx: FilterContext, held: list[Ticket]) -> None:
+        """Unwind a failed attempt so a re-execution starts clean.
+
+        Read grants are released (unpinning inputs frees memory other
+        work may be queued on); write grants are abandoned — nothing they
+        covered was published, so the retry can request them again.
+        """
+        for t in held:
+            op = "release" if t.permission is Permission.READ else "abandon"
+            try:
+                ctx.write("to_storage", DataBuffer({"op": op, "ticket": t}))
+            except StreamClosedError:
+                return
+
     # -- data assembly -------------------------------------------------------------
 
     def _gather_input(self, tickets: list[Ticket]) -> np.ndarray:
@@ -481,12 +738,22 @@ class _WorkerFilter(Filter):
         # performance for semantic simplicity".
         return np.concatenate([t.data for t in tickets])
 
-    def _run_task(self, ctx: FilterContext, task: TaskSpec) -> None:
+    def _run_task(self, ctx: FilterContext, task: TaskSpec,
+                  attempt: int) -> None:
+        held: list[Ticket] = []
+        try:
+            self._execute_task(ctx, task, attempt, held)
+        except BaseException:
+            self._abort(ctx, held)
+            raise
+
+    def _execute_task(self, ctx: FilterContext, task: TaskSpec, attempt: int,
+                      held: list[Ticket]) -> None:
         out_ranges: dict[str, tuple[int, int]] = task.meta.get("out_ranges", {})
         read_tickets: dict[str, list[Ticket]] = {}
         for array in task.inputs:
             ivs = whole_array(self.descs[array])
-            read_tickets[array] = self._request_all(ctx, "read", ivs)
+            read_tickets[array] = self._request_all(ctx, "read", ivs, held)
         write_tickets: dict[str, list[Ticket]] = {}
         out_buffers: dict[str, np.ndarray] = {}
         scatter: list[tuple[str, np.ndarray]] = []
@@ -494,7 +761,7 @@ class _WorkerFilter(Filter):
             desc = self.descs[array]
             lo, hi = out_ranges.get(array, (0, desc.length))
             ivs = intervals_for_range(desc, lo, hi)
-            tickets = self._request_all(ctx, "write", ivs)
+            tickets = self._request_all(ctx, "write", ivs, held)
             write_tickets[array] = tickets
             if len(tickets) == 1:
                 out_buffers[array] = tickets[0].data
@@ -502,6 +769,11 @@ class _WorkerFilter(Filter):
                 temp = np.empty(hi - lo, dtype=desc.dtype)
                 out_buffers[array] = temp
                 scatter.append((array, temp))
+        if self.injector is not None and self.injector.task_fault(
+                task.name, attempt):
+            raise InjectedTaskCrash(
+                f"injected crash of task {task.name!r} attempt {attempt} "
+                f"on node {self.node}")
         inputs = {a: self._gather_input(ts) for a, ts in read_tickets.items()}
         task.fn(inputs, out_buffers, task.meta)
         for array, temp in scatter:
@@ -509,6 +781,7 @@ class _WorkerFilter(Filter):
             lo, _ = out_ranges.get(array, (0, desc.length))
             for t in write_tickets[array]:
                 t.data[:] = temp[t.interval.lo - lo: t.interval.hi - lo]
+        held.clear()  # from here the normal releases own every ticket
         for tickets in read_tickets.values():
             self._release_all(ctx, tickets)
         for tickets in write_tickets.values():
@@ -524,15 +797,30 @@ class _WorkerFilter(Filter):
             if msg["op"] == "shutdown":
                 return
             task: TaskSpec = msg["task"]
+            attempt: int = msg.get("attempt", 1)
             started = self.tracer.now()
-            self._run_task(ctx, task)
-            self.tracer.complete(
-                self.node, f"worker/{ctx.instance}", "task", "task", started,
-                task=task.name)
+            try:
+                self._run_task(ctx, task, attempt)
+            except StreamClosedError:
+                raise  # runtime failure/shutdown, not a task failure
+            except Exception as exc:  # noqa: BLE001 - reported for re-execution
+                self.tracer.instant(
+                    self.node, f"worker/{ctx.instance}", "task",
+                    "task_failed", task=task.name, attempt=attempt,
+                    error=repr(exc))
+                ctx.write("to_lsched", DataBuffer(
+                    {"op": "failed", "task": task,
+                     "parent": task.meta.get("parent"),
+                     "attempt": attempt, "error": repr(exc)}))
+            else:
+                self.tracer.complete(
+                    self.node, f"worker/{ctx.instance}", "task", "task",
+                    started, task=task.name)
+                ctx.write("to_lsched", DataBuffer(
+                    {"op": "done", "task": task.name,
+                     "parent": task.meta.get("parent")}))
             ctx.write("to_lsched", DataBuffer(
-                {"op": "done", "task": task.name,
-                 "parent": task.meta.get("parent")}))
-            ctx.write("to_lsched", DataBuffer({"op": "idle", "inst": ctx.instance}))
+                {"op": "idle", "inst": ctx.instance}))
 
 
 class _LocalSchedulerFilter(Filter):
@@ -557,15 +845,22 @@ class _LocalSchedulerFilter(Filter):
 
     def __init__(self, node: int, workers: int,
                  nbytes: dict[str, int], *, prefetch_depth: int = 2,
-                 reorder: bool = True, tracer: Optional[Tracer] = None):
+                 reorder: bool = True, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 max_attempts: int = 3):
+        if max_attempts < 1:
+            raise SchedulingError("max_attempts must be >= 1")
         self.core = LocalSchedulerCore(node, prefetch_depth=prefetch_depth,
                                        reorder=reorder)
         self.node = node
         self.workers = workers
         self.nbytes = nbytes
         self.tracer = tracer or Tracer(enabled=False)
+        self.metrics = metrics
+        self.max_attempts = max_attempts
         self._idle: list[int] = []
         self._parents: dict[str, int] = {}  # parent task -> remaining subtasks
+        self._attempts: dict[str, int] = {}  # task -> attempts dispatched here
         self._inflight = 0
         self._stall = 0
 
@@ -635,10 +930,14 @@ class _LocalSchedulerFilter(Filter):
                     continue
                 worker = self._idle.pop(0)
                 self._inflight += 1
+                attempt = self._attempts.get(sub.name, 0) + 1
+                self._attempts[sub.name] = attempt
                 self.tracer.instant(self.node, "sched", "task", "dispatch",
-                                    task=sub.name, worker=worker)
+                                    task=sub.name, worker=worker,
+                                    attempt=attempt)
                 ctx.write("to_workers", DataBuffer(
-                    {"op": "task", "task": sub}, {"__dest__": worker}))
+                    {"op": "task", "task": sub, "attempt": attempt},
+                    {"__dest__": worker}))
 
     def debug_snapshot(self) -> dict:
         """Scheduler-side state for the stall watchdog (best effort)."""
@@ -649,8 +948,13 @@ class _LocalSchedulerFilter(Filter):
             "stall_ticks": self._stall,
         }
 
+    def _inc(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name)
+
     def _on_done(self, ctx: FilterContext, msg: dict) -> None:
         self._inflight -= 1
+        self._attempts.pop(msg["task"], None)
         parent = msg.get("parent")
         if parent is not None:
             self._parents[parent] -= 1
@@ -659,6 +963,35 @@ class _LocalSchedulerFilter(Filter):
                 ctx.write("to_gsched", DataBuffer({"op": "done", "task": parent}))
         else:
             ctx.write("to_gsched", DataBuffer({"op": "done", "task": msg["task"]}))
+
+    def _on_failed(self, ctx: FilterContext, msg: dict) -> None:
+        """A worker reported a failed attempt: re-execute or escalate."""
+        self._inflight -= 1
+        task: TaskSpec = msg["task"]
+        attempt: int = msg["attempt"]
+        if attempt < self.max_attempts:
+            # Write-once makes re-execution safe: the failed attempt
+            # published nothing, so the task simply becomes ready again.
+            self._inc("task_reexecutions")
+            self.tracer.instant(self.node, "sched", "task", "task_retry",
+                                task=task.name, attempt=attempt,
+                                error=msg["error"])
+            self.core.add_ready(task)
+            return
+        self._attempts.pop(task.name, None)
+        if msg.get("parent") is not None:
+            # A subtask of a split: sibling subtasks may already have
+            # published ranges of the shared outputs, so rerouting the
+            # parent would collide with write-once.  Local retries are the
+            # only recourse (documented limitation, see docs/FAULTS.md).
+            raise SchedulingError(
+                f"subtask {task.name!r} failed {attempt} times on node "
+                f"{self.node}: {msg['error']}")
+        self.tracer.instant(self.node, "sched", "task", "task_escalate",
+                            task=task.name, error=msg["error"])
+        ctx.write("to_gsched", DataBuffer(
+            {"op": "failed", "task": task.name, "node": self.node,
+             "error": msg["error"]}))
 
     def process(self, ctx: FilterContext) -> None:
         while True:
@@ -687,12 +1020,19 @@ class _LocalSchedulerFilter(Filter):
                     ctx.write("to_storage", DataBuffer(
                         {"op": "delete", "array": msg["array"]}))
                     continue
+                if msg["op"] in ("rehome", "ensure"):
+                    # Reroute bookkeeping from the global scheduler, relayed
+                    # to storage ahead of the re-dispatched task itself.
+                    ctx.write("to_storage", DataBuffer(msg))
+                    continue
                 self.core.add_ready(msg["task"])
             elif port == "from_storage":
                 self._on_storage_note(msg)  # wake/dropped; then re-dispatch
             else:
                 if msg["op"] == "idle":
                     self._idle.append(msg["inst"])
+                elif msg["op"] == "failed":
+                    self._on_failed(ctx, msg)
                 else:  # done
                     self._on_done(ctx, msg)
             self._dispatch(ctx)
@@ -712,18 +1052,34 @@ class _GlobalSchedulerFilter(Filter):
     has completed, a garbage-collection message goes to every node (the
     home drops memory + scratch file, consumers drop cached copies).
     Initial arrays and terminal outputs are always kept.
+
+    A task that exhausts its local re-execution budget is **rerouted**: the
+    assignment moves to a node that has not tried it, the task's output
+    arrays are rehomed there (broadcast to every node so directories and
+    remote registrations follow), and the task is re-sent.  Once every
+    node has tried and failed, the run dies with :class:`TaskFailedError`.
     """
 
     inputs = ("in",)
 
     def __init__(self, dag: TaskDAG, assignment: dict[str, int], n_nodes: int,
-                 *, gc_arrays: bool = False):
+                 *, gc_arrays: bool = False,
+                 homes: Optional[dict[str, int]] = None,
+                 max_reroutes: Optional[int] = None,
+                 tracer: Optional[Tracer] = None):
         self.dag = dag
         self.assignment = assignment
         self.n_nodes = n_nodes
         self.gc_arrays = gc_arrays
+        #: array -> home node; shared with the engine so reroutes are
+        #: visible to post-run ``fetch()``
+        self.homes = homes if homes is not None else {}
+        self.max_reroutes = max_reroutes
+        self.tracer = tracer or Tracer(enabled=False)
         self.outputs = tuple(f"out_{i}" for i in range(n_nodes))
         self._consumers_left: dict[str, int] = {}
+        self._tried: dict[str, set[int]] = {}  # task -> nodes that failed it
+        self._reroutes: dict[str, int] = {}
         if gc_arrays:
             for t in dag.tasks.values():
                 for array in t.outputs:
@@ -746,6 +1102,40 @@ class _GlobalSchedulerFilter(Filter):
                     ctx.write(f"out_{i}", DataBuffer(
                         {"op": "gc", "array": array}))
 
+    def _reroute(self, ctx: FilterContext, msg: dict) -> None:
+        """Move a repeatedly-failing task to a node that has not tried it."""
+        name, failed_node = msg["task"], msg["node"]
+        tried = self._tried.setdefault(name, {self.assignment[name]})
+        tried.add(failed_node)
+        reroutes = self._reroutes.get(name, 0)
+        candidates = [n for n in range(self.n_nodes) if n not in tried]
+        if not candidates or (self.max_reroutes is not None
+                              and reroutes >= self.max_reroutes):
+            raise TaskFailedError(
+                f"task {name!r} failed on node(s) {sorted(tried)} "
+                f"(last error: {msg['error']})")
+        new_node = candidates[0]
+        self._reroutes[name] = reroutes + 1
+        self.assignment[name] = new_node
+        self.tracer.instant(new_node, "gsched", "task", "task_reroute",
+                            task=name, from_node=failed_node,
+                            error=msg["error"])
+        spec = self.dag.tasks[name]
+        # Outputs follow the task: every node updates its registration
+        # (local on the new home, remote handles elsewhere) and forgets
+        # cached owner entries and block state.
+        for array in spec.outputs:
+            self.homes[array] = new_node
+            for i in range(self.n_nodes):
+                ctx.write(f"out_{i}", DataBuffer(
+                    {"op": "rehome", "array": array, "home": new_node}))
+        # Inputs must be at least remotely registered on the new node.
+        for array in spec.inputs:
+            ctx.write(f"out_{new_node}", DataBuffer(
+                {"op": "ensure", "array": array,
+                 "home": self.homes.get(array, -1)}))
+        self._send(ctx, name)
+
     def process(self, ctx: FilterContext) -> None:
         for name in sorted(self.dag.ready_tasks()):
             self._send(ctx, name)
@@ -756,6 +1146,9 @@ class _GlobalSchedulerFilter(Filter):
                     "local schedulers vanished before the DAG completed"
                 )
             msg = buf.payload
+            if msg["op"] == "failed":
+                self._reroute(ctx, msg)
+                continue
             for newly in self.dag.mark_complete(msg["task"]):
                 self._send(ctx, newly)
             if self.gc_arrays:
@@ -824,9 +1217,15 @@ class DOoCEngine:
         scheduler_reorder: bool = True,
         trace: "bool | Tracer" = False,
         watchdog_quiet_s: Optional[float] = 10.0,
+        faults: Optional[FaultPlan] = None,
+        io_retry: Optional[RetryPolicy] = None,
+        task_max_attempts: int = 3,
+        task_max_reroutes: Optional[int] = None,
     ):
         if n_nodes < 1 or workers_per_node < 1 or io_filters_per_node < 1:
             raise DoocError("n_nodes, workers and I/O filters must be >= 1")
+        if task_max_attempts < 1:
+            raise DoocError("task_max_attempts must be >= 1")
         self.n_nodes = n_nodes
         self.workers_per_node = workers_per_node
         self.io_filters_per_node = io_filters_per_node
@@ -834,6 +1233,14 @@ class DOoCEngine:
         self.prefetch_depth = prefetch_depth
         self.gc_arrays = gc_arrays
         self.scheduler_reorder = scheduler_reorder
+        #: deterministic fault plan (None or all-zero probabilities = off)
+        self.faults = faults
+        #: I/O retry/backoff policy; None uses the IOFilter default
+        self.io_retry = io_retry
+        #: per-node execution attempts before a task escalates to a reroute
+        self.task_max_attempts = task_max_attempts
+        #: cross-node reroutes before giving up (None = every other node)
+        self.task_max_reroutes = task_max_reroutes
         #: ``trace=True`` records the run timeline (see repro.obs); a
         #: caller-provided Tracer is used as-is (e.g. a sim-clocked one).
         self.tracer = trace if isinstance(trace, Tracer) else Tracer(enabled=bool(trace))
@@ -891,6 +1298,8 @@ class DOoCEngine:
         # Per-node stores with the right registration per array.
         self.stores = {}
         directories = {}
+        injectors: dict[int, Optional[FaultInjector]] = {}
+        inject = self.faults is not None and self.faults.enabled
         for node in range(self.n_nodes):
             store = LocalStore(node, self.memory_budget_per_node)
             consumed_here = {
@@ -911,8 +1320,12 @@ class DOoCEngine:
             self.stores[node] = store
             directories[node] = DirectoryClient(
                 node, self.n_nodes, self.rng.child("directory", node))
+            injectors[node] = FaultInjector(
+                self.faults, node, metrics=store.metrics,
+                tracer=self.tracer) if inject else None
 
-        layout = self._build_layout(program, dag, assignment, directories, nbytes)
+        layout = self._build_layout(program, dag, assignment, directories,
+                                    nbytes, injectors)
         runtime = ThreadedRuntime(layout)
         watchdog = self._build_watchdog(runtime)
         self.tracer.instant(-1, "engine", "run", "phase",
@@ -960,39 +1373,52 @@ class DOoCEngine:
     def _build_layout(self, program: Program, dag: TaskDAG,
                       assignment: dict[str, int],
                       directories: dict[int, DirectoryClient],
-                      nbytes: dict[str, int]) -> Layout:
+                      nbytes: dict[str, int],
+                      injectors: "dict[int, Optional[FaultInjector]]",
+                      ) -> Layout:
         n = self.n_nodes
         layout = Layout(program.name)
         layout.add_filter(
             "gsched", lambda: _GlobalSchedulerFilter(
-                dag, assignment, n, gc_arrays=self.gc_arrays))
+                dag, assignment, n, gc_arrays=self.gc_arrays,
+                homes=self._homes, max_reroutes=self.task_max_reroutes,
+                tracer=self.tracer))
         for node in range(n):
             store = self.stores[node]
             directory = directories[node]
             scratch = self.node_scratch(node)
+            injector = injectors[node]
             layout.add_filter(
                 f"storage@{node}",
-                lambda node=node, store=store, directory=directory: _StorageFilter(
-                    node, n, store, directory, self._descs, self.tracer),
+                lambda node=node, store=store, directory=directory,
+                injector=injector: _StorageFilter(
+                    node, n, store, directory, self._descs, self.tracer,
+                    injector=injector),
             )
             layout.add_filter(
                 f"io@{node}",
-                lambda node=node, scratch=scratch: IOFilter(
-                    scratch, node=node, tracer=self.tracer),
+                lambda node=node, scratch=scratch, store=store,
+                injector=injector: IOFilter(
+                    scratch, node=node, tracer=self.tracer,
+                    retry=self.io_retry, injector=injector,
+                    metrics=store.metrics),
                 instances=self.io_filters_per_node,
                 replicable=True,
             )
             layout.add_filter(
                 f"lsched@{node}",
-                lambda node=node: _LocalSchedulerFilter(
+                lambda node=node, store=store: _LocalSchedulerFilter(
                     node, self.workers_per_node, nbytes,
                     prefetch_depth=self.prefetch_depth,
                     reorder=self.scheduler_reorder,
-                    tracer=self.tracer),
+                    tracer=self.tracer,
+                    metrics=store.metrics,
+                    max_attempts=self.task_max_attempts),
             )
             layout.add_filter(
                 f"worker@{node}",
-                lambda node=node: _WorkerFilter(node, self._descs, self.tracer),
+                lambda node=node, injector=injector: _WorkerFilter(
+                    node, self._descs, self.tracer, injector=injector),
                 instances=self.workers_per_node,
                 replicable=True,
             )

@@ -17,8 +17,21 @@ class UnknownArrayError(StorageError):
     """An operation referenced an array the storage layer has never seen."""
 
 
+class IOFailedError(StorageError):
+    """A block I/O operation failed permanently (retries exhausted).
+
+    Raised on the consumer side when a blocked ticket is denied because
+    the backing load/fetch could not be completed — the fail-fast
+    alternative to a read waiter stalling forever behind a dead I/O path.
+    """
+
+
 class SchedulingError(DoocError):
     """Task-graph or scheduler inconsistency (cycles, unknown producers...)."""
+
+
+class TaskFailedError(SchedulingError):
+    """A task exhausted local re-execution attempts and node reroutes."""
 
 
 class StallError(DoocError, TimeoutError):

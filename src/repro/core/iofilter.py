@@ -5,11 +5,20 @@ backing store: one binary file per array, blocks at fixed offsets.
 ``IOFilter`` (a DataCutter filter) performs the actual reads/writes so
 "the interactions with the file system [are] completely asynchronous" —
 the storage filter never blocks on disk.
+
+Failure semantics: every command is retried under a
+:class:`~repro.faults.RetryPolicy` (exponential backoff + jitter); a
+command whose retries are exhausted is answered with a structured
+``io_error`` reply carrying the original ``token`` — the filter itself
+never dies on an I/O error, so the storage layer can fail the blocked
+tickets fast instead of stranding them.
 """
 
 from __future__ import annotations
 
 import os
+import random
+import time
 from pathlib import Path
 
 import numpy as np
@@ -20,16 +29,35 @@ from repro.core.array import ArrayDesc
 from repro.core.errors import StorageError
 from repro.datacutter.buffers import END_OF_STREAM, DataBuffer
 from repro.datacutter.filters import Filter, FilterContext
-from repro.obs import Tracer
+from repro.faults import FaultInjector, InjectedIOError, RetryPolicy
+from repro.obs import MetricsRegistry, Tracer
 
 _SUFFIX = ".arr"
+
+
+def escape_name(name: str) -> str:
+    """Mangle an array name into a flat, filesystem-safe file stem.
+
+    ``%`` is escaped *first* so that a literal ``a%2Fb`` and ``a/b`` map to
+    distinct files and the mapping round-trips (the previous scheme left
+    them colliding on disk and un-mangled wrongly at startup scan).
+    """
+    return (name.replace("%", "%25")
+                .replace("/", "%2F")
+                .replace("\\", "%5C"))
+
+
+def unescape_name(safe: str) -> str:
+    """Inverse of :func:`escape_name` (``%25`` decoded last)."""
+    return (safe.replace("%5C", "\\")
+                .replace("%2F", "/")
+                .replace("%25", "%"))
 
 
 def array_path(scratch: Path, name: str) -> Path:
     """File backing ``name`` (array names may contain '/' -> subdirs not
     allowed; they are mangled to keep one flat directory)."""
-    safe = name.replace("/", "%2F").replace("\\", "%5C")
-    return Path(scratch) / f"{safe}{_SUFFIX}"
+    return Path(scratch) / f"{escape_name(name)}{_SUFFIX}"
 
 
 def block_offset(desc: ArrayDesc, block: int) -> int:
@@ -39,7 +67,13 @@ def block_offset(desc: ArrayDesc, block: int) -> int:
 
 
 def write_block(scratch: Path, desc: ArrayDesc, block: int, data: np.ndarray) -> None:
-    """Persist one block at its offset (creating/growing the file)."""
+    """Persist one block at its offset (creating/growing the file).
+
+    The open is create-without-truncate (``O_CREAT | O_RDWR``): a
+    check-then-open ("w+b" when the path does not exist yet) races when
+    several I/O filters first-write different blocks of one array
+    concurrently — the loser's truncation zeroes the winner's block.
+    """
     expected = desc.block_length(block)
     if data.shape != (expected,):
         raise StorageError(
@@ -48,8 +82,8 @@ def write_block(scratch: Path, desc: ArrayDesc, block: int, data: np.ndarray) ->
         )
     path = array_path(scratch, desc.name)
     path.parent.mkdir(parents=True, exist_ok=True)
-    mode = "r+b" if path.exists() else "w+b"
-    with open(path, mode) as fh:
+    fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o666)
+    with os.fdopen(fd, "r+b") as fh:
         fh.seek(block_offset(desc, block))
         fh.write(np.ascontiguousarray(data, dtype=desc.dtype).tobytes())
 
@@ -102,7 +136,7 @@ def discover_arrays(scratch: Path) -> list[str]:
     if not root.exists():
         return out
     for path in sorted(root.glob(f"*{_SUFFIX}")):
-        out.append(path.name[: -len(_SUFFIX)].replace("%2F", "/").replace("%5C", "\\"))
+        out.append(unescape_name(path.name[: -len(_SUFFIX)]))
     return out
 
 
@@ -111,19 +145,68 @@ class IOFilter(Filter):
 
     Input buffers: ``{"op": "load"|"store", "desc": ArrayDesc, "block": int,
     "data": ndarray (store only), "token": any}``.  Replies mirror the
-    command with ``data`` filled for loads.  Deploy "as many I/O filters as
-    is necessary to efficiently use the parallelism contained in the I/O
-    subsystem" — instances are stateless and replicable.
+    command with ``data`` filled for loads; a command that keeps failing
+    after ``retry.attempts`` tries is answered with ``{"op": "io_error",
+    "failed_op": ..., "error": ..., "token": ...}`` instead of killing the
+    filter thread.  Deploy "as many I/O filters as is necessary to
+    efficiently use the parallelism contained in the I/O subsystem" —
+    instances are stateless and replicable.
     """
 
     inputs = ("in",)
     outputs = ("out",)
 
     def __init__(self, scratch: Path, *, node: int = -1,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 injector: Optional[FaultInjector] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.scratch = Path(scratch)
         self.node = node
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.injector = injector
+        self.metrics = metrics
+        self._jitter_rng = random.Random(node * 2654435761 + 17)
+
+    def _inc(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name)
+
+    def _attempt(self, fn, op: str, desc: ArrayDesc, block: int, lane: str):
+        """Run ``fn`` with fault injection and retry/backoff.
+
+        Returns ``(result, None)`` on success or ``(None, error)`` once the
+        policy is exhausted (or a permanent fault is injected).
+        """
+        last: Optional[BaseException] = None
+        for attempt in range(self.retry.attempts):
+            if attempt > 0:
+                self._inc("io_retries")
+                self.tracer.instant(self.node, lane, "io", "io_retry",
+                                    op=op, array=desc.name, block=block,
+                                    attempt=attempt)
+                time.sleep(self.retry.delay(attempt, self._jitter_rng))
+            if self.injector is not None:
+                kind = self.injector.io_fault(op, desc.name, block, attempt)
+                if kind == "permanent":
+                    last = InjectedIOError(
+                        f"injected permanent {op} fault on "
+                        f"{desc.name}[{block}] (node {self.node})")
+                    break
+                if kind == "transient":
+                    last = InjectedIOError(
+                        f"injected transient {op} fault on "
+                        f"{desc.name}[{block}] attempt {attempt}")
+                    continue
+            try:
+                return fn(), None
+            except (OSError, StorageError) as exc:
+                last = exc
+        self._inc("io_failures")
+        self.tracer.instant(self.node, lane, "io", "io_error", op=op,
+                            array=desc.name, block=block, error=repr(last))
+        return None, last
 
     def process(self, ctx: FilterContext) -> None:
         tracer = self.tracer
@@ -135,27 +218,44 @@ class IOFilter(Filter):
             cmd = buf.payload
             desc: ArrayDesc = cmd["desc"]
             block: int = cmd["block"]
+            op: str = cmd["op"]
+            token = cmd.get("token")
             start = tracer.now()
-            if cmd["op"] == "load":
-                data = read_block(self.scratch, desc, block)
-                tracer.complete(self.node, lane, "io", "read", start,
-                                array=desc.name, block=block)
-                ctx.write("out", DataBuffer(
-                    {"op": "loaded", "desc": desc, "block": block, "data": data,
-                     "token": cmd.get("token")}))
-            elif cmd["op"] == "store":
-                write_block(self.scratch, desc, block, cmd["data"])
-                tracer.complete(self.node, lane, "io", "write", start,
-                                array=desc.name, block=block)
-                ctx.write("out", DataBuffer(
-                    {"op": "stored", "desc": desc, "block": block,
-                     "token": cmd.get("token")}))
-            elif cmd["op"] == "unlink":
-                delete_array_file(self.scratch, desc.name)
-                tracer.complete(self.node, lane, "io", "unlink", start,
-                                array=desc.name)
-                ctx.write("out", DataBuffer(
-                    {"op": "unlinked", "desc": desc, "block": -1,
-                     "token": cmd.get("token")}))
+            if op == "load":
+                data, error = self._attempt(
+                    lambda: read_block(self.scratch, desc, block),
+                    op, desc, block, lane)
+                if error is None:
+                    tracer.complete(self.node, lane, "io", "read", start,
+                                    array=desc.name, block=block)
+                    ctx.write("out", DataBuffer(
+                        {"op": "loaded", "desc": desc, "block": block,
+                         "data": data, "token": token}))
+                    continue
+            elif op == "store":
+                _, error = self._attempt(
+                    lambda: write_block(self.scratch, desc, block, cmd["data"]),
+                    op, desc, block, lane)
+                if error is None:
+                    tracer.complete(self.node, lane, "io", "write", start,
+                                    array=desc.name, block=block)
+                    ctx.write("out", DataBuffer(
+                        {"op": "stored", "desc": desc, "block": block,
+                         "token": token}))
+                    continue
+            elif op == "unlink":
+                _, error = self._attempt(
+                    lambda: delete_array_file(self.scratch, desc.name),
+                    op, desc, block, lane)
+                if error is None:
+                    tracer.complete(self.node, lane, "io", "unlink", start,
+                                    array=desc.name)
+                    ctx.write("out", DataBuffer(
+                        {"op": "unlinked", "desc": desc, "block": -1,
+                         "token": token}))
+                    continue
             else:
-                raise StorageError(f"unknown I/O op {cmd['op']!r}")
+                raise StorageError(f"unknown I/O op {op!r}")
+            ctx.write("out", DataBuffer(
+                {"op": "io_error", "failed_op": op, "desc": desc,
+                 "block": block, "error": repr(error), "token": token}))

@@ -40,13 +40,20 @@ __all__ = ["Effect", "Ticket", "LocalStore", "StoreStats"]
 
 @dataclass(frozen=True)
 class Effect:
-    """An action the driver must perform on behalf of the store."""
+    """An action the driver must perform on behalf of the store.
 
-    kind: Literal["load", "spill", "drop", "fetch_remote", "grant_read", "grant_write"]
+    ``deny`` is the failure counterpart of ``grant_read``: the ticket's
+    backing I/O failed permanently, and the driver must route ``error``
+    back to the requester instead of a grant.
+    """
+
+    kind: Literal["load", "spill", "drop", "fetch_remote", "grant_read",
+                  "grant_write", "deny"]
     array: str = ""
     block: int = -1
     data: Optional[np.ndarray] = None
     ticket: Optional["Ticket"] = None
+    error: str = ""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         if self.ticket is not None:
@@ -368,10 +375,16 @@ class LocalStore:
         return effects
 
     def on_remote_data(self, array: str, block: int, data: np.ndarray) -> list[Effect]:
-        """Driver finished a ``fetch_remote`` effect."""
+        """Driver finished a ``fetch_remote`` effect.
+
+        Duplicate deliveries (the fetch path retransmits requests whose
+        reply may merely be slow or dropped) are ignored rather than
+        treated as protocol violations.
+        """
         st = self._state(array, block)
         if st.status != _FETCHING:
-            raise StorageError(f"unexpected fetch completion for {array}[{block}]")
+            self.metrics.inc("stale_blockdata")
+            return []
         self._install(st, data)
         st.remote = True
         self.metrics.inc("remote_fetches")
@@ -397,6 +410,137 @@ class LocalStore:
         effects = [Effect("drop", array, block)]
         effects.extend(self._pump_allocs())
         return effects
+
+    # -- failure completions ---------------------------------------------------------
+
+    def _fail_waiters(self, st: _BlockState, error: str) -> list[Effect]:
+        """Deny every blocked read waiter of ``st`` (fail fast, no stall)."""
+        effects = [
+            Effect("deny", st.desc.name, st.block, ticket=t, error=error)
+            for t in st.read_waiters
+        ]
+        st.read_waiters = []
+        return effects
+
+    def on_load_failed(self, array: str, block: int, error: str) -> list[Effect]:
+        """Driver's ``load`` effect failed permanently (retries exhausted)."""
+        st = self._state(array, block)
+        if st.status != _LOADING:
+            raise StorageError(f"unexpected load failure for {array}[{block}]")
+        self.in_use -= st.nbytes  # release the reservation made at _begin_load
+        st.status = _ABSENT
+        self.metrics.inc("load_failures")
+        effects = self._fail_waiters(st, error)
+        effects.extend(self._pump_allocs())
+        return effects
+
+    def on_fetch_failed(self, array: str, block: int, error: str) -> list[Effect]:
+        """Driver's ``fetch_remote`` effect failed permanently.
+
+        Duplicate failure notices (the fetch path may retransmit) after the
+        state already unwound are ignored.
+        """
+        st = self._state(array, block)
+        if st.status != _FETCHING:
+            return []
+        self.in_use -= st.nbytes
+        st.status = _ABSENT
+        self.metrics.inc("fetch_failures")
+        effects = self._fail_waiters(st, error)
+        effects.extend(self._pump_allocs())
+        return effects
+
+    def on_spill_failed(self, array: str, block: int, error: str) -> list[Effect]:
+        """Driver's ``spill`` effect failed: keep the block resident.
+
+        The data is still in memory, so nothing is lost — the reclaim that
+        wanted this block's bytes simply stays queued and a later pump will
+        retry the spill (the I/O filter retries transient errors below this
+        level; a permanently unwritable scratch disk keeps the block pinned
+        in memory, degrading capacity rather than correctness).
+        """
+        st = self._state(array, block)
+        if st.status != _SPILLING:
+            raise StorageError(f"unexpected spill failure for {array}[{block}]")
+        st.status = _RESIDENT
+        self.metrics.inc("spill_failures")
+        return self._wake_readers(st)
+
+    # -- task abandonment / re-execution ----------------------------------------------
+
+    def abandon_write(self, ticket: Ticket) -> list[Effect]:
+        """Retract a granted write ticket without publishing its range.
+
+        The write-once discipline makes task re-execution cheap: nothing
+        the failed task wrote was ever readable (ranges publish only at
+        release), so abandoning simply forgets the ticket and discards the
+        block buffer when nothing else uses it.  The same intervals can
+        then be requested again by the re-executed task.
+        """
+        if ticket.permission is not Permission.WRITE:
+            raise StorageError("abandon_write() is for write tickets")
+        if ticket.released:
+            raise StorageError(f"ticket {ticket.tid} released twice")
+        if not ticket.granted:
+            raise StorageError(
+                f"ticket {ticket.tid} abandoned before being granted")
+        ticket.released = True
+        iv = ticket.interval
+        st = self._state(iv.array, iv.block)
+        st.writers -= 1
+        key = (iv.array, iv.block)
+        outstanding = self._write_tickets[key]
+        outstanding.remove(ticket)
+        if not outstanding:
+            del self._write_tickets[key]
+        self.metrics.inc("writes_abandoned")
+        if (not st.pinned and not st.written and st.data is not None
+                and st.status == _RESIDENT):
+            # No released range and no other user: the buffer holds only
+            # the failed task's partial output — discard it.
+            self._free(st)
+            st.status = _ABSENT
+        return self._pump_allocs()
+
+    # -- rehoming (graceful degradation) -----------------------------------------------
+
+    def _purge_blocks(self, name: str) -> list[Effect]:
+        """Forget all block state of ``name`` (must be unpublished/unpinned)."""
+        effects: list[Effect] = []
+        for key, st in [(k, s) for k, s in self._blocks.items() if k[0] == name]:
+            if st.pinned or st.status in (_LOADING, _SPILLING, _FETCHING):
+                raise StorageError(
+                    f"cannot rehome {name!r}: block {st.block} is in use "
+                    f"on node {self.node}"
+                )
+            if st.data is not None:
+                self._free(st)
+            effects.append(Effect("drop", name, st.block))
+            del self._blocks[key]
+        return effects
+
+    def rehome_local(self, desc: ArrayDesc) -> list[Effect]:
+        """This node becomes the home of a (never-written) rerouted array."""
+        if desc.name not in self.arrays:
+            self.arrays[desc.name] = desc
+        self._remote_arrays.discard(desc.name)
+        effects = self._purge_blocks(desc.name)
+        effects.extend(self._pump_allocs())
+        return effects
+
+    def rehome_remote(self, name: str) -> list[Effect]:
+        """A rerouted array's home moved elsewhere; keep a remote handle."""
+        if name not in self.arrays:
+            return []
+        self._remote_arrays.add(name)
+        effects = self._purge_blocks(name)
+        effects.extend(self._pump_allocs())
+        return effects
+
+    def ensure_remote(self, desc: ArrayDesc) -> None:
+        """Register a remote handle if the array is unknown (reroute prep)."""
+        if desc.name not in self.arrays:
+            self.register_remote(desc)
 
     # -- introspection ---------------------------------------------------------------
 
@@ -483,12 +627,23 @@ class LocalStore:
             for t in list(tickets)
         ]
         alloc_queue = [{"bytes": need} for need, _ in list(self._alloc_queue)]
+        # Non-zero recovery counters let the watchdog distinguish a node
+        # that is *retrying* (faults being absorbed) from one that stalled.
+        recovery = {
+            k: self.metrics.get(k)
+            for k in ("io_retries", "io_failures", "faults_injected",
+                      "task_reexecutions", "fetch_retransmits",
+                      "lookup_retransmits", "lookup_restarts",
+                      "load_failures", "fetch_failures", "spill_failures",
+                      "writes_abandoned")
+        }
         return {
             "in_use": self.in_use,
             "budget": self.budget,
             "blocked_reads": blocked_reads,
             "write_tickets": write_tickets,
             "alloc_queue": alloc_queue,
+            "recovery": {k: v for k, v in recovery.items() if v},
         }
 
     # -- internals ----------------------------------------------------------------------

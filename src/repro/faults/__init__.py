@@ -1,0 +1,39 @@
+"""Deterministic fault injection and retry policy.
+
+Long Lanczos runs (the paper's target workload) see transient I/O errors,
+lost peer messages and crashed workers long before they see a clean
+shutdown.  The write-once/immutable-array semantics of the storage layer
+(Section III-B) make recovery unusually cheap: no coherency state exists
+to repair, so a failed task can simply be re-executed — the same property
+iterative-dataflow systems exploit for low-cost recovery.
+
+This package provides the *one* fault schema shared by the threaded
+engine and the DES testbed:
+
+* :class:`FaultPlan` — a pure, seed-keyed description of which faults
+  occur.  Every decision is a deterministic hash of (seed, site), so the
+  same plan replays the same faults regardless of thread interleaving;
+* :class:`RetryPolicy` — exponential backoff with jitter, used by the
+  I/O filters (real sleeps) and the simulator (sim-clock timeouts);
+* :class:`FaultInjector` — a per-node binding of a plan that counts
+  ``faults_injected`` into the node's metrics registry and traces every
+  injection.
+
+See docs/FAULTS.md for the fault model and recovery semantics.
+"""
+
+from repro.faults.plan import (
+    FaultInjector,
+    FaultPlan,
+    InjectedIOError,
+    InjectedTaskCrash,
+    RetryPolicy,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "InjectedIOError",
+    "InjectedTaskCrash",
+]

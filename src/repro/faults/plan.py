@@ -1,0 +1,186 @@
+"""The fault schema: plans, retry policy, and the per-node injector."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.rng import _digest_seed
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "InjectedIOError",
+    "InjectedTaskCrash",
+]
+
+_U53 = float(1 << 53)
+
+
+class InjectedIOError(OSError):
+    """A FaultPlan-injected I/O failure (transient or permanent)."""
+
+
+class InjectedTaskCrash(RuntimeError):
+    """A FaultPlan-injected worker-task crash."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for transient-failure retries.
+
+    ``attempts`` counts total tries (1 disables retries).  The delay before
+    try ``k`` (k >= 1) is ``backoff_s * multiplier**(k-1)`` capped at
+    ``max_backoff_s``, scaled by a uniform factor in
+    ``[1 - jitter, 1 + jitter]`` when an ``rng`` is supplied.
+    """
+
+    attempts: int = 4
+    backoff_s: float = 0.002
+    multiplier: float = 2.0
+    max_backoff_s: float = 0.25
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt must be >= 1")
+        base = min(self.backoff_s * self.multiplier ** (attempt - 1),
+                   self.max_backoff_s)
+        if rng is None or self.jitter == 0.0:
+            return base
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic description of which faults a run experiences.
+
+    Each probability is evaluated as a pure hash of ``(seed, site)``, so a
+    given plan always injects the same faults at the same decision sites —
+    independent of thread scheduling.  Transient I/O faults are keyed per
+    *attempt* (a retry re-draws); permanent faults are keyed per site only
+    (every attempt fails); peer faults are keyed per occurrence (a
+    retransmitted message re-draws).
+    """
+
+    seed: int = 0
+    #: P(one attempt of an I/O operation fails with a retryable error)
+    io_transient: float = 0.0
+    #: P(an I/O site — (node, op, array, block) — fails on every attempt)
+    io_permanent: float = 0.0
+    #: P(a peer message silently vanishes)
+    peer_drop: float = 0.0
+    #: P(a peer message is delayed by ``peer_delay_s``)
+    peer_delay: float = 0.0
+    peer_delay_s: float = 0.05
+    #: P(one attempt of a worker task crashes mid-execution)
+    task_crash: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("io_transient", "io_permanent", "peer_drop",
+                     "peer_delay", "task_crash"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if self.peer_delay_s < 0:
+            raise ValueError("peer_delay_s must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        return any((self.io_transient, self.io_permanent, self.peer_drop,
+                    self.peer_delay, self.task_crash))
+
+    def _draw(self, *site: object) -> float:
+        """Uniform [0, 1) determined purely by (seed, site)."""
+        return (_digest_seed(self.seed, *site) >> 75) / _U53
+
+    # -- decision points ------------------------------------------------------
+
+    def io_fault(self, node: int, op: str, array: str, block: int,
+                 attempt: int) -> Optional[str]:
+        """``"permanent"``, ``"transient"`` or None for one I/O attempt."""
+        if self.io_permanent and self._draw(
+                "io-perm", node, op, array, block) < self.io_permanent:
+            return "permanent"
+        if self.io_transient and self._draw(
+                "io-trans", node, op, array, block, attempt) < self.io_transient:
+            return "transient"
+        return None
+
+    def peer_fault(self, src: int, dst: int, op: str, array: Optional[str],
+                   block: int, occurrence: int) -> Optional[tuple[str, float]]:
+        """``("drop", 0)``, ``("delay", s)`` or None for one peer message."""
+        site = ("peer", src, dst, op, array, block, occurrence)
+        if self.peer_drop and self._draw("drop", *site) < self.peer_drop:
+            return ("drop", 0.0)
+        if self.peer_delay and self._draw("delay", *site) < self.peer_delay:
+            return ("delay", self.peer_delay_s)
+        return None
+
+    def task_fault(self, node: int, task: str, attempt: int) -> bool:
+        """Does attempt ``attempt`` of ``task`` on ``node`` crash?"""
+        return bool(self.task_crash and self._draw(
+            "task", node, task, attempt) < self.task_crash)
+
+
+class FaultInjector:
+    """A per-node binding of a :class:`FaultPlan`.
+
+    Tracks per-message occurrence counters (so retransmissions re-draw),
+    counts every injection into the node's metrics registry as
+    ``faults_injected`` (labelled by kind), and traces each one.  All
+    methods are called from the owning node's single-threaded filters.
+    """
+
+    def __init__(self, plan: FaultPlan, node: int, *, metrics=None,
+                 tracer=None):
+        self.plan = plan
+        self.node = node
+        self.metrics = metrics
+        self.tracer = tracer
+        self._peer_seq: dict[tuple, int] = {}
+
+    def _record(self, kind: str, **args: object) -> None:
+        if self.metrics is not None:
+            self.metrics.inc("faults_injected", label=kind)
+        if self.tracer is not None:
+            self.tracer.instant(self.node, "faults", "fault", kind, **args)
+
+    def io_fault(self, op: str, array: str, block: int,
+                 attempt: int) -> Optional[str]:
+        kind = self.plan.io_fault(self.node, op, array, block, attempt)
+        if kind is not None:
+            self._record(f"io_{kind}", op=op, array=array, block=block,
+                         attempt=attempt)
+        return kind
+
+    def peer_fault(self, dst: int, op: str, array: Optional[str],
+                   block: int) -> Optional[tuple[str, float]]:
+        key = (dst, op, array, block)
+        occurrence = self._peer_seq.get(key, 0)
+        self._peer_seq[key] = occurrence + 1
+        fate = self.plan.peer_fault(self.node, dst, op, array, block,
+                                    occurrence)
+        if fate is not None:
+            self._record(f"peer_{fate[0]}", op=op, dst=dst, array=array,
+                         block=block)
+        return fate
+
+    def task_fault(self, task: str, attempt: int) -> bool:
+        hit = self.plan.task_fault(self.node, task, attempt)
+        if hit:
+            self._record("task_crash", task=task, attempt=attempt)
+        return hit

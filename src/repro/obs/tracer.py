@@ -30,6 +30,20 @@ sched    prefetch    prefetch request issued (instant)
 sched    prefetch_dropped storage dropped a prefetch (instant)
 sched    stall_tick  idle liveness tick on a node (instant)
 io       read/write  raw disk time inside an I/O filter (span)
+io       io_retry    I/O attempt failed; backing off to retry (instant)
+io       io_error    I/O retries exhausted; error reply sent (instant)
+task     task_failed a task attempt failed on a worker (instant)
+task     task_retry  scheduler re-queued a failed task (instant)
+task     task_escalate local retries exhausted; sent to gsched (instant)
+task     task_reroute gsched moved a task to another node (instant)
+storage  io_failed   storage received an io_error reply (instant)
+storage  deny        a blocked ticket was failed fast (instant)
+storage  fetch_retry unanswered peer fetch retransmitted (instant)
+storage  lookup_retry unanswered owner lookup retransmitted (instant)
+storage  lookup_restart owner walk exhausted and restarted (instant)
+storage  rehome      an array's home moved (task reroute) (instant)
+storage  request_rejected read/write request refused (instant)
+fault    *           FaultPlan injection (kind in the name) (instant)
 run      phase       run-level milestones (instant)
 ======== =========== ==============================================
 """

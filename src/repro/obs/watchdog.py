@@ -89,6 +89,12 @@ class Diagnosis:
                     f"    tasks in flight: {node['inflight']}, "
                     f"idle workers: {node.get('idle_workers', '?')}"
                 )
+            recovery = node.get("recovery")
+            if recovery:
+                lines.append(
+                    "    recovery activity (node is retrying, not dead): "
+                    + ", ".join(f"{k}={v}" for k, v in sorted(recovery.items()))
+                )
         if len(lines) == 1:
             lines.append("  (no per-node state registered)")
         return "\n".join(lines)

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.cluster.machine import SimCluster
 from repro.cluster.spec import ClusterSpec, carver_ssd_testbed
+from repro.faults import FaultPlan, RetryPolicy
 from repro.models.testbed import TestbedWorkload
 from repro.sim.kernel import Environment
 from repro.sim.primitives import Barrier, Resource
@@ -100,6 +101,12 @@ class TestbedRow:
     read_bw_bytes_per_s: float
     non_overlapped_fraction: float
     cpu_hours_per_iteration: float
+    #: transient-I/O retries performed (FaultPlan runs only)
+    io_retries: int = 0
+    #: faults the plan injected into this run
+    faults_injected: int = 0
+    #: reads redone as task re-executions after permanent faults
+    task_reexecutions: int = 0
 
 
 class _Counter:
@@ -132,6 +139,8 @@ def run_testbed_spmv(
     oversubscribe: int = 1,
     trace_sink: Optional[list] = None,
     tracer=None,
+    faults: Optional[FaultPlan] = None,
+    io_retry: Optional[RetryPolicy] = None,
 ) -> TestbedRow:
     """Simulate one testbed run and return its table row.
 
@@ -142,6 +151,16 @@ def run_testbed_spmv(
     Pass a :class:`repro.obs.Tracer` as ``tracer`` to receive the run's
     timeline in the engine's trace-event schema (sim clock as timestamps),
     ready for ``RunReport``-style Chrome export.
+
+    ``faults`` mirrors the threaded engine's fault model on the simulated
+    clock (same :class:`FaultPlan` schema, docs/FAULTS.md): each
+    filesystem read is a decision site keyed by its per-node sequence
+    number.  A transient fault costs one ``io_retry`` backoff delay and a
+    re-draw; a permanent fault costs the exhausted-retries penalty plus a
+    full task re-execution (the read is redone once, fault-free — the
+    write-once recovery story).  Faults perturb *time only*; the computed
+    row differs from a fault-free run solely in ``time_s`` and derived
+    columns, never in dimension/nnz.
     """
     if policy not in ("simple", "interleaved"):
         raise ValueError(f"unknown policy {policy!r}")
@@ -205,6 +224,39 @@ def run_testbed_spmv(
 
     flow_cap = params.per_flow_cap_bytes
 
+    # Fault mirror: same decision schema as the engine, on the sim clock.
+    inject = faults is not None and faults.enabled
+    retry = io_retry if io_retry is not None else RetryPolicy()
+    fault_counts = {"io_retries": 0, "faults_injected": 0,
+                    "task_reexecutions": 0}
+    read_seq = [0] * nodes  # per-node read sequence number = decision site
+
+    def fs_read(node: int, nbytes: float, label: str):
+        """``cluster.fs_read`` with FaultPlan-driven retry/re-execution."""
+        if not inject:
+            yield cluster.fs_read(node, nbytes, label=label)
+            return
+        block = read_seq[node]
+        read_seq[node] += 1
+        for attempt in range(1, retry.attempts + 1):
+            kind = faults.io_fault(node, "load", label, block, attempt)
+            if kind is None:
+                yield cluster.fs_read(node, nbytes, label=label)
+                return
+            fault_counts["faults_injected"] += 1
+            if kind == "permanent":
+                break  # retrying cannot help; fall through to re-execution
+            if attempt < retry.attempts:
+                fault_counts["io_retries"] += 1
+                yield env.timeout(retry.delay(attempt))
+        # Retries exhausted (or permanent): the scheduler re-executes the
+        # task — pay the remaining backoff as the failure-detection
+        # penalty, then redo the read fault-free (write-once makes the
+        # re-read safe; a rerouted attempt reads from a healthy path).
+        fault_counts["task_reexecutions"] += 1
+        yield env.timeout(retry.delay(retry.attempts))
+        yield cluster.fs_read(node, nbytes, label=label)
+
     def send_vectors(src: int, dst: int, count: int, it: int, label: str):
         """Transfer ``count`` sub-vectors; returns when all arrive."""
         events = [
@@ -219,7 +271,7 @@ def run_testbed_spmv(
             factor = phase_factor()
             # Phase 1: local SpMVs, load then multiply (no interleaving).
             for _ in range(subs_per_node):
-                yield cluster.fs_read(node, sub_bytes * factor, label="sub")
+                yield from fs_read(node, sub_bytes * factor, "sub")
                 yield env.process(cluster.compute(
                     node, mult_flops, cores=cores, label="mult"))
             yield barrier.wait()
@@ -278,8 +330,7 @@ def run_testbed_spmv(
                 for k in range(subs_per_node):
                     req = yield slots.request()
                     if k >= skip:
-                        yield cluster.fs_read(node, sub_bytes * factor,
-                                              label="sub")
+                        yield from fs_read(node, sub_bytes * factor, "sub")
                     env.process(mult_then_rowsum(req, k))
 
             yield env.process(load_pipeline(prefetched))
@@ -307,8 +358,7 @@ def run_testbed_spmv(
                 def prefetch_next(nf=next_factor):
                     got = 0
                     for _ in range(min(params.window, subs_per_node)):
-                        yield cluster.fs_read(node, sub_bytes * nf,
-                                              label="prefetch")
+                        yield from fs_read(node, sub_bytes * nf, "prefetch")
                         got += 1
                     return got
 
@@ -347,6 +397,9 @@ def run_testbed_spmv(
         non_overlapped_fraction=max(0.0, 1.0 - io_busy_mean / total_time),
         cpu_hours_per_iteration=(
             nodes * spec.node.cores * (total_time / iterations) / 3600.0),
+        io_retries=fault_counts["io_retries"],
+        faults_injected=fault_counts["faults_injected"],
+        task_reexecutions=fault_counts["task_reexecutions"],
     )
     if trace_sink is not None:
         trace_sink.append(trace)

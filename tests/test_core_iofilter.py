@@ -1,7 +1,11 @@
 """Tests for scratch-directory block I/O and the I/O filter."""
 
+import threading
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.array import ArrayDesc
 from repro.core.errors import StorageError
@@ -11,12 +15,15 @@ from repro.core.iofilter import (
     block_offset,
     delete_array_file,
     discover_arrays,
+    escape_name,
     read_array,
     read_block,
+    unescape_name,
     write_array,
     write_block,
 )
 from repro.datacutter import DataBuffer, END_OF_STREAM, Filter, Layout, ThreadedRuntime
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
 
 
 def desc(name="a", length=100, block=40):
@@ -78,6 +85,63 @@ class TestBlockIO:
     def test_discover_missing_dir(self, tmp_path):
         assert discover_arrays(tmp_path / "nope") == []
 
+    def test_concurrent_first_writes_do_not_zero_each_other(self, tmp_path):
+        """Regression: two threads writing different blocks of a *new*
+        file concurrently.  The old ``open(path, "wb")`` creation path
+        truncated the file, so whichever writer opened second could zero
+        the other's block.  ``os.open(O_CREAT | O_RDWR)`` never truncates."""
+        d = desc(length=80, block=40)
+        want0, want1 = np.full(40, 1.0), np.full(40, 2.0)
+        for round_no in range(50):
+            delete_array_file(tmp_path, d.name)
+            barrier = threading.Barrier(2)
+            errors = []
+
+            def writer(block, data):
+                try:
+                    barrier.wait()
+                    write_block(tmp_path, d, block, data)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=writer, args=(0, want0)),
+                       threading.Thread(target=writer, args=(1, want1))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            np.testing.assert_array_equal(read_block(tmp_path, d, 0), want0)
+            np.testing.assert_array_equal(read_block(tmp_path, d, 1), want1)
+
+
+class TestNameMangling:
+    @given(name=st.text(
+        alphabet=st.characters(codec="utf-8",
+                               exclude_characters="\x00"),
+        min_size=1, max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_escape_round_trips(self, name):
+        assert unescape_name(escape_name(name)) == name
+
+    @given(name=st.lists(
+        st.sampled_from(["%", "/", "\\", "%2F", "%25", "%5C", "a"]),
+        min_size=1, max_size=12).map("".join))
+    @settings(max_examples=200, deadline=None)
+    def test_adversarial_names_round_trip_and_stay_flat(self, name):
+        safe = escape_name(name)
+        assert "/" not in safe and "\\" not in safe
+        assert unescape_name(safe) == name
+
+    def test_no_collisions_between_literal_and_escaped(self):
+        """Regression: escaping ``/`` before ``%`` mapped "a/b" and
+        "a%2Fb" to the same file name."""
+        names = ["a/b", "a%2Fb", "a%252Fb", "a\\b", "a%5Cb", "%", "%25"]
+        escaped = [escape_name(n) for n in names]
+        assert len(set(escaped)) == len(names)
+        for n, s in zip(names, escaped):
+            assert unescape_name(s) == n
+
 
 class _Driver(Filter):
     """Feeds commands to an IOFilter and records replies."""
@@ -120,6 +184,62 @@ class TestIOFilter:
         np.testing.assert_array_equal(replies[1]["data"], np.full(40, 5.0))
         assert [r["token"] for r in replies] == ["t1", "t2", "t3"]
         assert not array_path(tmp_path, d.name).exists()
+
+    def test_exhausted_retries_reply_io_error_and_filter_survives(
+            self, tmp_path):
+        """A failing load must produce a structured ``io_error`` reply
+        (carrying the correlation token) and leave the filter alive for
+        subsequent commands — not kill the filter thread."""
+        d = desc(length=80, block=40)
+        replies = []
+        commands = [
+            {"op": "load", "desc": d, "block": 0, "token": "t-dead"},
+            {"op": "store", "desc": d, "block": 1,
+             "data": np.full(40, 7.0), "token": "t-after"},
+        ]
+        layout = Layout("io")
+        layout.add_filter("drv", lambda: _Driver(commands, replies))
+        layout.add_filter("io", lambda: IOFilter(
+            tmp_path, retry=RetryPolicy(attempts=2, backoff_s=0.0)))
+        layout.connect("drv", "cmd", "io", "in")
+        layout.connect("io", "out", "drv", "rep")
+        ThreadedRuntime(layout).run(timeout=30)
+        assert [r["op"] for r in replies] == ["io_error", "stored"]
+        err = replies[0]
+        assert err["failed_op"] == "load"
+        assert err["token"] == "t-dead"
+        assert err["block"] == 0
+        assert "error" in err
+
+    def test_injected_transient_fault_retried_to_success(self, tmp_path):
+        from repro.obs import MetricsRegistry
+        d = desc(length=40, block=40)
+        write_array(tmp_path, d, np.arange(40.0))
+        metrics = MetricsRegistry()
+        plan = FaultPlan(seed=0, io_transient=1.0)
+
+        class OneShot(FaultInjector):
+            """Injects exactly one transient fault, then goes quiet."""
+
+            def io_fault(self, op, array, block, attempt):
+                return super().io_fault(op, array, block, attempt) \
+                    if attempt == 0 else None
+
+        replies = []
+        layout = Layout("io")
+        layout.add_filter("drv", lambda: _Driver(
+            [{"op": "load", "desc": d, "block": 0, "token": "t"}], replies))
+        layout.add_filter("io", lambda: IOFilter(
+            tmp_path, retry=RetryPolicy(attempts=3, backoff_s=0.0),
+            injector=OneShot(plan, 0, metrics=metrics), metrics=metrics))
+        layout.connect("drv", "cmd", "io", "in")
+        layout.connect("io", "out", "drv", "rep")
+        ThreadedRuntime(layout).run(timeout=30)
+        assert [r["op"] for r in replies] == ["loaded"]
+        np.testing.assert_array_equal(replies[0]["data"], np.arange(40.0))
+        snap = metrics.as_dict()
+        assert snap["io_retries"] == 1
+        assert snap["faults_injected_by_label"] == {"io_transient": 1}
 
     def test_unknown_op_fails(self, tmp_path):
         d = desc()

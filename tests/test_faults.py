@@ -1,0 +1,150 @@
+"""Unit tests for the fault layer: plans, retry policy, injector."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.obs import MetricsRegistry, Tracer
+
+
+class TestFaultPlanValidation:
+    @pytest.mark.parametrize("field", [
+        "io_transient", "io_permanent", "peer_drop", "peer_delay",
+        "task_crash",
+    ])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_probabilities_validated(self, field, bad):
+        with pytest.raises(ValueError, match="probability"):
+            FaultPlan(**{field: bad})
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="peer_delay_s"):
+            FaultPlan(peer_delay_s=-1.0)
+
+    def test_enabled(self):
+        assert not FaultPlan().enabled
+        assert not FaultPlan(seed=42).enabled
+        assert FaultPlan(io_transient=0.1).enabled
+        assert FaultPlan(task_crash=1.0).enabled
+
+
+class TestFaultPlanDeterminism:
+    def sites(self):
+        return [(n, op, a, b, k)
+                for n in range(2) for op in ("load", "store")
+                for a in ("x", "y") for b in range(4) for k in (1, 2)]
+
+    def test_same_seed_same_decisions(self):
+        p1 = FaultPlan(seed=7, io_transient=0.3, io_permanent=0.05)
+        p2 = FaultPlan(seed=7, io_transient=0.3, io_permanent=0.05)
+        assert [p1.io_fault(*s) for s in self.sites()] == \
+               [p2.io_fault(*s) for s in self.sites()]
+
+    def test_different_seed_different_decisions(self):
+        p1 = FaultPlan(seed=1, io_transient=0.5)
+        p2 = FaultPlan(seed=2, io_transient=0.5)
+        assert [p1.io_fault(*s) for s in self.sites()] != \
+               [p2.io_fault(*s) for s in self.sites()]
+
+    def test_decisions_independent_of_call_order(self):
+        plan = FaultPlan(seed=3, io_transient=0.4)
+        forward = [plan.io_fault(*s) for s in self.sites()]
+        backward = [plan.io_fault(*s) for s in reversed(self.sites())]
+        assert forward == list(reversed(backward))
+
+    def test_empirical_rate_near_probability(self):
+        plan = FaultPlan(seed=0, io_transient=0.2)
+        n = 4000
+        hits = sum(
+            plan.io_fault(0, "load", "x", b, 1) == "transient"
+            for b in range(n))
+        assert 0.15 < hits / n < 0.25
+
+    def test_permanent_dominates_and_repeats(self):
+        plan = FaultPlan(seed=0, io_transient=1.0, io_permanent=1.0)
+        for attempt in (1, 2, 3):
+            assert plan.io_fault(0, "load", "x", 0, attempt) == "permanent"
+
+    def test_transient_rekeyed_per_attempt(self):
+        plan = FaultPlan(seed=0, io_transient=0.5)
+        fates = {plan.io_fault(0, "load", "x", 0, k) for k in range(1, 40)}
+        assert fates == {None, "transient"}  # retries eventually pass
+
+    def test_peer_fault_rekeyed_per_occurrence(self):
+        plan = FaultPlan(seed=0, peer_drop=0.5)
+        fates = {plan.peer_fault(0, 1, "fetch", "x", 0, occ)
+                 for occ in range(40)}
+        assert fates == {None, ("drop", 0.0)}  # retransmits eventually pass
+
+    def test_peer_delay_carries_configured_seconds(self):
+        plan = FaultPlan(seed=0, peer_delay=1.0, peer_delay_s=0.125)
+        assert plan.peer_fault(0, 1, "fetch", "x", 0, 0) == ("delay", 0.125)
+
+    def test_task_fault_deterministic(self):
+        plan = FaultPlan(seed=5, task_crash=0.5)
+        draws = [plan.task_fault(0, "t", k) for k in range(20)]
+        assert draws == [plan.task_fault(0, "t", k) for k in range(20)]
+        assert any(draws) and not all(draws)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_s=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+    def test_exponential_growth_and_cap(self):
+        p = RetryPolicy(backoff_s=0.01, multiplier=2.0, max_backoff_s=0.05,
+                        jitter=0.0)
+        assert p.delay(1) == pytest.approx(0.01)
+        assert p.delay(2) == pytest.approx(0.02)
+        assert p.delay(3) == pytest.approx(0.04)
+        assert p.delay(4) == pytest.approx(0.05)  # capped
+        assert p.delay(10) == pytest.approx(0.05)
+
+    def test_jitter_bounds(self):
+        import random
+        p = RetryPolicy(backoff_s=0.1, multiplier=1.0, jitter=0.5)
+        rng = random.Random(0)
+        delays = [p.delay(1, rng) for _ in range(200)]
+        assert all(0.05 <= d <= 0.15 for d in delays)
+        assert max(delays) > 0.12 and min(delays) < 0.08  # jitter is live
+
+
+class TestFaultInjector:
+    def test_counts_and_traces_injections(self):
+        metrics = MetricsRegistry()
+        tracer = Tracer()
+        inj = FaultInjector(FaultPlan(seed=0, io_transient=1.0), node=0,
+                            metrics=metrics, tracer=tracer)
+        assert inj.io_fault("load", "x", 0, 1) == "transient"
+        assert inj.io_fault("load", "x", 1, 1) == "transient"
+        snap = metrics.as_dict()
+        assert snap["faults_injected"] == 2
+        assert snap["faults_injected_by_label"] == {"io_transient": 2}
+        assert [e.name for e in tracer.events() if e.cat == "fault"] == \
+               ["io_transient", "io_transient"]
+
+    def test_peer_occurrence_counter_advances(self):
+        plan = FaultPlan(seed=0, peer_drop=0.5)
+        inj = FaultInjector(plan, node=0)
+        # The injector must feed an incrementing occurrence into the plan:
+        # repeated sends of the same message re-draw rather than repeating.
+        fates = [inj.peer_fault(1, "fetch", "x", 0) for _ in range(40)]
+        expect = [plan.peer_fault(0, 1, "fetch", "x", 0, occ)
+                  for occ in range(40)]
+        assert fates == expect
+        assert len(set(map(bool, fates))) == 2
+
+    def test_no_injection_no_count(self):
+        metrics = MetricsRegistry()
+        inj = FaultInjector(FaultPlan(seed=0), node=0, metrics=metrics)
+        assert inj.io_fault("load", "x", 0, 1) is None
+        assert not inj.task_fault("t", 1)
+        assert "faults_injected" not in metrics.as_dict()
