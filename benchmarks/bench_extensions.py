@@ -22,5 +22,5 @@ def bench_energy_comparison(once):
     print()
     print(extensions.render_energy(cmp_))
     # Colocation always beats the separated design on energy.
-    for sep, col in zip(cmp_.testbed, cmp_.colocated):
+    for sep, col in zip(cmp_.testbed, cmp_.colocated, strict=True):
         assert col.kwh < sep.kwh

@@ -26,7 +26,7 @@ def bench_fig5_back_and_forth(once, tmp_path):
     order = result.engine_load_order
     assert sorted(order) == list(range(result.k)), "loads seen on every node"
     for node, rows in order.items():
-        diffs = [b - a for a, b in zip(rows, rows[1:])]
+        diffs = [b - a for a, b in zip(rows, rows[1:], strict=False)]
         assert any(d > 0 for d in diffs) and any(d < 0 for d in diffs), (
             f"node {node}: no direction reversal in load order {rows}")
         # Regular plan reloads the whole column every iteration.

@@ -33,7 +33,7 @@ def bench_policy_gain_at_scale(once):
 
     simple, inter = once(both)
     print()
-    for s, i in zip(simple, inter):
+    for s, i in zip(simple, inter, strict=True):
         gain = 1 - i.measured.time_s / s.measured.time_s
         print(f"  {s.measured.nodes:2d} nodes: interleaving gains "
               f"{100 * gain:.0f}% (paper: 17-28%)")

@@ -50,7 +50,7 @@ def main() -> None:
     print(f"  Lanczos iterations: {result.iterations} "
           f"(each SpMV ran out-of-core on 3 DOoC nodes; "
           f"{solver.matvec_count} distributed SpMVs)")
-    for i, (got, want) in enumerate(zip(result.eigenvalues, exact)):
+    for i, (got, want) in enumerate(zip(result.eigenvalues, exact, strict=True)):
         print(f"  E_{i}: {got:+.8f}   (dense reference {want:+.8f}, "
               f"residual bound {result.residuals[i]:.1e})")
     np.testing.assert_allclose(result.eigenvalues, exact, rtol=1e-6)

@@ -5,6 +5,7 @@
     python -m repro table3 --nodes 1 4 9
     python -m repro all --quick
     python -m repro trace run.trace.jsonl -o run.json
+    python -m repro lint src tests
 """
 
 from __future__ import annotations
@@ -18,11 +19,14 @@ from repro.experiments import EXPERIMENTS, run_experiment
 _NEEDS_NODES = {"table3", "table4", "fig6", "fig7", "colocated", "energy"}
 
 
-def main(argv: "list[str] | None" = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "trace":
         from repro.obs.cli import main as trace_main
         return trace_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures of Zhou et al., ICPP 2012.",

@@ -1,0 +1,71 @@
+"""Static and dynamic protocol checkers for the DOoC runtime.
+
+Two halves (see docs/ANALYSIS.md):
+
+* **AST lint** (``python -m repro lint``): repo-specific rules
+  ``DOOC001``..``DOOC004`` over the source tree — ticket-leak, dropped
+  ``Effect`` lists, blocking-under-lock, trace-vocabulary enforcement —
+  with ``# dooc: noqa[CODE]`` suppressions (:mod:`repro.analysis.lint`,
+  :mod:`repro.analysis.rules`, :mod:`repro.analysis.cli`).
+
+* **Runtime checkers** (``DOOC_CHECKERS=1``): a lock-order recorder that
+  fails runs whose cross-thread lock acquisition graph contains a cycle
+  (:mod:`repro.analysis.lockorder`), a ticket-lifecycle auditor that names
+  tickets granted but never released/abandoned
+  (:mod:`repro.analysis.tickets`), and a pre-execution task-graph
+  validator (:mod:`repro.analysis.dagcheck`).
+
+Submodules are imported lazily: the runtime modules (``datacutter``,
+``core``) import from this package on their hot construction paths, and a
+lazy surface keeps those imports cycle-free and cheap when the checkers
+are disabled.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+__all__ = [
+    "checkers_enabled",
+    "Violation",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "LockOrderRecorder",
+    "LockOrderViolation",
+    "TicketAuditor",
+    "TicketLeakError",
+    "validate_tasks",
+    "DagValidationError",
+]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def checkers_enabled() -> bool:
+    """Are the runtime protocol checkers requested via ``DOOC_CHECKERS``?"""
+    return os.environ.get("DOOC_CHECKERS", "").strip().lower() in _TRUTHY
+
+
+_LAZY = {
+    "Violation": "repro.analysis.lint",
+    "lint_source": "repro.analysis.lint",
+    "lint_file": "repro.analysis.lint",
+    "lint_paths": "repro.analysis.lint",
+    "LockOrderRecorder": "repro.analysis.lockorder",
+    "LockOrderViolation": "repro.analysis.lockorder",
+    "TicketAuditor": "repro.analysis.tickets",
+    "TicketLeakError": "repro.analysis.tickets",
+    "validate_tasks": "repro.analysis.dagcheck",
+    "DagValidationError": "repro.analysis.dagcheck",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)

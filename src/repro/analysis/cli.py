@@ -1,0 +1,89 @@
+"""``python -m repro lint`` — run the protocol-aware linter.
+
+    python -m repro lint src
+    python -m repro lint src tests --json
+    python -m repro lint src --select DOOC001,DOOC002
+    python -m repro lint tests --strict     # disable per-dir relaxations
+
+Exit status: 0 clean, 1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.lint import (
+    DEFAULT_PATH_RELAXATIONS,
+    RULES,
+    lint_paths,
+)
+
+
+def _codes(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [c.strip().upper() for c in raw.split(",") if c.strip()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="Protocol-aware lint for the DOoC runtime "
+                    "(rules DOOC001..DOOC004; see docs/ANALYSIS.md).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run exclusively")
+    parser.add_argument("--ignore", metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit violations as a JSON array")
+    parser.add_argument("--strict", action="store_true",
+                        help="disable the built-in per-directory "
+                             "relaxations (tests/, benchmarks/, examples/)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    # Importing the rules module populates the registry.
+    import repro.analysis.rules  # noqa: F401
+
+    if args.list_rules:
+        for code, rule in sorted(RULES.items()):
+            print(f"{code}  {rule.name}: {rule.description}")
+        for prefix, codes in sorted(DEFAULT_PATH_RELAXATIONS.items()):
+            print(f"(default relaxation) {prefix}/: "
+                  + ", ".join(sorted(codes)) + " off")
+        return 0
+
+    try:
+        violations = lint_paths(
+            args.paths,
+            select=_codes(args.select),
+            ignore=_codes(args.ignore),
+            strict=args.strict,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.as_json:
+        print(json.dumps([v.to_json() for v in violations], indent=2))
+    else:
+        for v in violations:
+            print(v.render())
+        if violations:
+            counts: dict[str, int] = {}
+            for v in violations:
+                counts[v.code] = counts.get(v.code, 0) + 1
+            summary = ", ".join(f"{c} x{n}" for c, n in sorted(counts.items()))
+            print(f"{len(violations)} violation(s): {summary}",
+                  file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,117 @@
+"""Pre-execution validation of a task set.
+
+:class:`~repro.core.dag.TaskDAG` already rejects malformed programs, but
+it does so while the engine is mid-``run`` — and a cycle report that says
+"some of these five tasks" leaves the user to find the loop by hand.
+:func:`validate_tasks` runs the same checks *before any thread starts*
+and names the exact failure:
+
+* duplicate task names,
+* double-written arrays (arrays are immutable; two writers is a race),
+* reads of arrays nothing produces and nothing declared initial,
+* dependency cycles, reported as the actual task path
+  (``a -> b -> c -> a``), not a candidate set.
+
+:class:`DagValidationError` subclasses
+:class:`~repro.core.errors.SchedulingError` so callers (and tests) that
+already catch the scheduler's errors keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.errors import SchedulingError
+from repro.core.task import TaskSpec
+
+__all__ = ["DagValidationError", "validate_tasks", "find_task_cycle"]
+
+
+class DagValidationError(SchedulingError):
+    """A task set failed pre-execution validation, with a named diagnosis."""
+
+
+def find_task_cycle(tasks: dict[str, TaskSpec],
+                    producer: dict[str, str]) -> list[str] | None:
+    """A task-name cycle (closed: first == last), or None if acyclic."""
+    succs: dict[str, set[str]] = {name: set() for name in tasks}
+    for t in tasks.values():
+        for array in t.inputs:
+            prod = producer.get(array)
+            if prod is not None:
+                succs[prod].add(t.name)
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = dict.fromkeys(tasks, WHITE)
+    parent: dict[str, str] = {}
+
+    # Iterative DFS so pathological chains don't hit the recursion limit.
+    for root in sorted(tasks):
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[str, Iterable[str]]] = [(root, iter(sorted(succs[root])))]
+        color[root] = GREY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if color[nxt] == GREY:
+                    cycle = [node]
+                    cur = node
+                    while cur != nxt:
+                        cur = parent[cur]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    cycle.append(cycle[0])
+                    return cycle
+                if color[nxt] == WHITE:
+                    color[nxt] = GREY
+                    parent[nxt] = node
+                    stack.append((nxt, iter(sorted(succs[nxt]))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def validate_tasks(tasks: Iterable[TaskSpec],
+                   initial_arrays: Iterable[str]) -> None:
+    """Raise :class:`DagValidationError` on the first structural defect."""
+    initial = set(initial_arrays)
+    by_name: dict[str, TaskSpec] = {}
+    producer: dict[str, str] = {}
+
+    for t in tasks:
+        if t.name in by_name:
+            raise DagValidationError(
+                f"duplicate task name {t.name!r}: every task needs a "
+                "unique name for scheduling and tracing")
+        by_name[t.name] = t
+        for array in t.outputs:
+            if array in producer:
+                raise DagValidationError(
+                    f"array {array!r} is written by both "
+                    f"{producer[array]!r} and {t.name!r}; arrays are "
+                    "write-once — give the second result a new name")
+            if array in initial:
+                raise DagValidationError(
+                    f"array {array!r} is declared initial but task "
+                    f"{t.name!r} writes it; initial arrays are inputs only")
+            producer[array] = t.name
+
+    for t in by_name.values():
+        for array in t.inputs:
+            if array not in producer and array not in initial:
+                raise DagValidationError(
+                    f"task {t.name!r} reads array {array!r}, which no task "
+                    "produces and which is not declared initial — the read "
+                    "could never be satisfied")
+
+    cycle = find_task_cycle(by_name, producer)
+    if cycle is not None:
+        raise DagValidationError(
+            "task graph has a dependency cycle: "
+            + " -> ".join(cycle)
+            + "; no task on this loop can ever become ready")

@@ -43,12 +43,12 @@ class Table1Case:
             )
         return n
 
-    def v_local_bytes(self, dimension: "int | None" = None) -> float:
+    def v_local_bytes(self, dimension: int | None = None) -> float:
         """Modelled local Lanczos vector size (single precision)."""
         d = self.published_dimension if dimension is None else dimension
         return 4.0 * d / self.diag_processors
 
-    def h_local_bytes(self, nnz: "float | None" = None) -> float:
+    def h_local_bytes(self, nnz: float | None = None) -> float:
         """Modelled local matrix size (value + column index per element)."""
         z = self.published_nnz if nnz is None else nnz
         return 8.0 * z / self.published_processors

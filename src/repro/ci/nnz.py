@@ -19,7 +19,7 @@ approximation in Table I (D itself is exact).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -183,7 +183,7 @@ def estimate_row_nnz(space: MSchemeSpace, samples: int,
 
 def estimate_total_nnz(space: MSchemeSpace, samples: int,
                        rng: np.random.Generator,
-                       *, dimension: "int | None" = None) -> tuple[float, float]:
+                       *, dimension: int | None = None) -> tuple[float, float]:
     """(nnz estimate, standard error): D x mean row count."""
     d = space.dimension() if dimension is None else dimension
     row = estimate_row_nnz(space, samples, rng)

@@ -19,7 +19,6 @@ jittered log-normally (shared-GPFS variation, Section V).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -50,10 +49,10 @@ class SimNode:
     #: receive-side message-processing bottleneck (storage-filter path):
     #: deserialization + buffer copies + request handling per inbound
     #: vector buffer; None disables it
-    vec_service: Optional[Link] = None
+    vec_service: Link | None = None
     #: node-local SSD cards (Section VI-A colocated configuration)
-    local_ssd: Optional[Link] = None
-    _rng: Optional[np.random.Generator] = field(default=None, repr=False)
+    local_ssd: Link | None = None
+    _rng: np.random.Generator | None = field(default=None, repr=False)
 
 
 class SimCluster:
@@ -64,10 +63,10 @@ class SimCluster:
         env: Environment,
         spec: ClusterSpec,
         *,
-        rng: Optional[RngTree] = None,
-        trace: Optional[TraceRecorder] = None,
-        nodes_in_use: Optional[int] = None,
-        vector_service_bytes_per_s: Optional[float] = None,
+        rng: RngTree | None = None,
+        trace: TraceRecorder | None = None,
+        nodes_in_use: int | None = None,
+        vector_service_bytes_per_s: float | None = None,
     ):
         if nodes_in_use is not None and not 1 <= nodes_in_use <= spec.compute_nodes:
             raise ValueError(
@@ -80,7 +79,7 @@ class SimCluster:
         self.network = FlowNetwork(env)
         self.n_nodes = nodes_in_use or spec.compute_nodes
 
-        self.storage_agg: Optional[Link] = None
+        self.storage_agg: Link | None = None
         if spec.io_nodes:
             clients = nodes_in_use or spec.compute_nodes
             self.storage_agg = Link(
@@ -153,7 +152,7 @@ class SimCluster:
             self.trace.interval(node.name, "io", label, start, self.env.now)
             done.succeed(self.env.now - start)
 
-        def start_flow(ev: Optional[Event]) -> None:
+        def start_flow(ev: Event | None) -> None:
             flow_done = self.network.transfer(route, effective)
             flow_done.callbacks.append(finish)  # type: ignore[union-attr]
 
@@ -168,7 +167,7 @@ class SimCluster:
 
     def send(
         self, src_index: int, dst_index: int, nbytes: float, label: str = "msg",
-        *, flow_cap: Optional[float] = None, via_service: bool = False,
+        *, flow_cap: float | None = None, via_service: bool = False,
     ) -> Event:
         """Transfer bytes from one node to another over the fabric.
 

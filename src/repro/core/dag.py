@@ -9,7 +9,7 @@ arrays).  The DAG tracks completion and maintains the ready frontier.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.core.errors import SchedulingError
 from repro.core.task import TaskSpec
@@ -69,6 +69,15 @@ class TaskDAG:
                 if indeg[s] == 0:
                     queue.append(s)
         if seen != len(self.tasks):
+            # Function-level import: repro.analysis reaches back into
+            # repro.core, which is mid-import when this module loads.
+            from repro.analysis.dagcheck import find_task_cycle
+
+            cycle = find_task_cycle(self.tasks, self.producer)
+            if cycle is not None:
+                raise SchedulingError(
+                    "task graph has a dependency cycle: " + " -> ".join(cycle)
+                )
             cyclic = sorted(n for n, d in indeg.items() if d > 0)
             raise SchedulingError(f"task graph has a cycle involving {cyclic[:5]}")
 

@@ -17,7 +17,6 @@ exclude already-visited peers, guaranteeing termination in at most
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -54,7 +53,7 @@ class DirectoryClient:
         self.resolved: dict[tuple[str, int], int] = {}  # cache: key -> owner
         self.total_probes = 0
 
-    def start_lookup(self, array: str, block: int) -> Optional[int]:
+    def start_lookup(self, array: str, block: int) -> int | None:
         """Begin (or join) a lookup; returns the cached owner if known.
 
         Returns None when a walk is (now) in flight; drive it with

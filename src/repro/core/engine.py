@@ -25,11 +25,13 @@ every protocol path of the paper executes, just without a physical wire.
 
 from __future__ import annotations
 
+import shutil
 import tempfile
 import time
+import weakref
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any
 
 import numpy as np
 
@@ -101,7 +103,7 @@ class Program:
         length: int,
         *,
         dtype: str = "float64",
-        block_elems: Optional[int] = None,
+        block_elems: int | None = None,
     ) -> ArrayDesc:
         """Declare a derived array (to be produced by a task)."""
         if name in self.arrays:
@@ -117,7 +119,7 @@ class Program:
         data: np.ndarray,
         *,
         home: int = 0,
-        block_elems: Optional[int] = None,
+        block_elems: int | None = None,
     ) -> ArrayDesc:
         """Declare an input array with seed data, homed on ``home``."""
         data = np.asarray(data)
@@ -136,7 +138,7 @@ class Program:
         *,
         home: int = 0,
         dtype: str = "float64",
-        block_elems: Optional[int] = None,
+        block_elems: int | None = None,
     ) -> ArrayDesc:
         """Declare an input array whose backing file already exists in the
         home node's scratch directory (seeded by a previous run or by
@@ -151,8 +153,8 @@ class Program:
         self,
         name: str,
         fn,
-        inputs: "list[str] | tuple[str, ...]",
-        outputs: "list[str] | tuple[str, ...]",
+        inputs: list[str] | tuple[str, ...],
+        outputs: list[str] | tuple[str, ...],
         *,
         flops: float = 0.0,
         splittable: bool = False,
@@ -200,8 +202,8 @@ class _StorageFilter(Filter):
 
     def __init__(self, node: int, n_nodes: int, store: LocalStore,
                  directory: DirectoryClient, descs: dict[str, ArrayDesc],
-                 tracer: Optional[Tracer] = None,
-                 injector: Optional[FaultInjector] = None):
+                 tracer: Tracer | None = None,
+                 injector: FaultInjector | None = None):
         self.node = node
         self.n_nodes = n_nodes
         self.store = store
@@ -661,8 +663,8 @@ class _WorkerFilter(Filter):
     outputs = ("to_storage", "to_lsched")
 
     def __init__(self, node: int, descs: dict[str, ArrayDesc],
-                 tracer: Optional[Tracer] = None,
-                 injector: Optional[FaultInjector] = None):
+                 tracer: Tracer | None = None,
+                 injector: FaultInjector | None = None):
         self.node = node
         self.descs = descs
         self.tracer = tracer or Tracer(enabled=False)
@@ -685,7 +687,7 @@ class _WorkerFilter(Filter):
                 {"op": op, "interval": iv,
                  "reply_to": ("worker", ctx.instance)}))
         granted: list[Ticket] = []
-        failure: Optional[dict] = None
+        failure: dict | None = None
         replies = 0
         while replies < len(intervals):
             buf = ctx.read("from_storage")
@@ -740,52 +742,56 @@ class _WorkerFilter(Filter):
 
     def _run_task(self, ctx: FilterContext, task: TaskSpec,
                   attempt: int) -> None:
+        """One task attempt, requests through releases.
+
+        The whole ticket lifecycle lives inside one ``try`` so that every
+        grant collected into ``held`` is unwound by ``_abort`` on *any*
+        failure — the structure the ``DOOC001`` lint rule checks for.
+        """
         held: list[Ticket] = []
         try:
-            self._execute_task(ctx, task, attempt, held)
+            out_ranges: dict[str, tuple[int, int]] = task.meta.get(
+                "out_ranges", {})
+            read_tickets: dict[str, list[Ticket]] = {}
+            for array in task.inputs:
+                ivs = whole_array(self.descs[array])
+                read_tickets[array] = self._request_all(ctx, "read", ivs, held)
+            write_tickets: dict[str, list[Ticket]] = {}
+            out_buffers: dict[str, np.ndarray] = {}
+            scatter: list[tuple[str, np.ndarray]] = []
+            for array in task.outputs:
+                desc = self.descs[array]
+                lo, hi = out_ranges.get(array, (0, desc.length))
+                ivs = intervals_for_range(desc, lo, hi)
+                tickets = self._request_all(ctx, "write", ivs, held)
+                write_tickets[array] = tickets
+                if len(tickets) == 1:
+                    out_buffers[array] = tickets[0].data
+                else:
+                    temp = np.empty(hi - lo, dtype=desc.dtype)
+                    out_buffers[array] = temp
+                    scatter.append((array, temp))
+            if self.injector is not None and self.injector.task_fault(
+                    task.name, attempt):
+                raise InjectedTaskCrash(
+                    f"injected crash of task {task.name!r} attempt {attempt} "
+                    f"on node {self.node}")
+            inputs = {a: self._gather_input(ts)
+                      for a, ts in read_tickets.items()}
+            task.fn(inputs, out_buffers, task.meta)
+            for array, temp in scatter:
+                desc = self.descs[array]
+                lo, _ = out_ranges.get(array, (0, desc.length))
+                for t in write_tickets[array]:
+                    t.data[:] = temp[t.interval.lo - lo: t.interval.hi - lo]
+            held.clear()  # from here the normal releases own every ticket
+            for tickets in read_tickets.values():
+                self._release_all(ctx, tickets)
+            for tickets in write_tickets.values():
+                self._release_all(ctx, tickets)
         except BaseException:
             self._abort(ctx, held)
             raise
-
-    def _execute_task(self, ctx: FilterContext, task: TaskSpec, attempt: int,
-                      held: list[Ticket]) -> None:
-        out_ranges: dict[str, tuple[int, int]] = task.meta.get("out_ranges", {})
-        read_tickets: dict[str, list[Ticket]] = {}
-        for array in task.inputs:
-            ivs = whole_array(self.descs[array])
-            read_tickets[array] = self._request_all(ctx, "read", ivs, held)
-        write_tickets: dict[str, list[Ticket]] = {}
-        out_buffers: dict[str, np.ndarray] = {}
-        scatter: list[tuple[str, np.ndarray]] = []
-        for array in task.outputs:
-            desc = self.descs[array]
-            lo, hi = out_ranges.get(array, (0, desc.length))
-            ivs = intervals_for_range(desc, lo, hi)
-            tickets = self._request_all(ctx, "write", ivs, held)
-            write_tickets[array] = tickets
-            if len(tickets) == 1:
-                out_buffers[array] = tickets[0].data
-            else:
-                temp = np.empty(hi - lo, dtype=desc.dtype)
-                out_buffers[array] = temp
-                scatter.append((array, temp))
-        if self.injector is not None and self.injector.task_fault(
-                task.name, attempt):
-            raise InjectedTaskCrash(
-                f"injected crash of task {task.name!r} attempt {attempt} "
-                f"on node {self.node}")
-        inputs = {a: self._gather_input(ts) for a, ts in read_tickets.items()}
-        task.fn(inputs, out_buffers, task.meta)
-        for array, temp in scatter:
-            desc = self.descs[array]
-            lo, _ = out_ranges.get(array, (0, desc.length))
-            for t in write_tickets[array]:
-                t.data[:] = temp[t.interval.lo - lo: t.interval.hi - lo]
-        held.clear()  # from here the normal releases own every ticket
-        for tickets in read_tickets.values():
-            self._release_all(ctx, tickets)
-        for tickets in write_tickets.values():
-            self._release_all(ctx, tickets)
 
     def process(self, ctx: FilterContext) -> None:
         ctx.write("to_lsched", DataBuffer({"op": "idle", "inst": ctx.instance}))
@@ -845,8 +851,8 @@ class _LocalSchedulerFilter(Filter):
 
     def __init__(self, node: int, workers: int,
                  nbytes: dict[str, int], *, prefetch_depth: int = 2,
-                 reorder: bool = True, tracer: Optional[Tracer] = None,
-                 metrics: Optional[MetricsRegistry] = None,
+                 reorder: bool = True, tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None,
                  max_attempts: int = 3):
         if max_attempts < 1:
             raise SchedulingError("max_attempts must be >= 1")
@@ -884,7 +890,7 @@ class _LocalSchedulerFilter(Filter):
             # here; the dispatch about to run uses the fresher map anyway.
             self._on_storage_note(buf.payload)
 
-    def _choose(self, resident: set[str]) -> Optional[TaskSpec]:
+    def _choose(self, resident: set[str]) -> TaskSpec | None:
         ranked = self.core.rank(resident, self.nbytes)
         if not ranked:
             return None
@@ -1064,9 +1070,9 @@ class _GlobalSchedulerFilter(Filter):
 
     def __init__(self, dag: TaskDAG, assignment: dict[str, int], n_nodes: int,
                  *, gc_arrays: bool = False,
-                 homes: Optional[dict[str, int]] = None,
-                 max_reroutes: Optional[int] = None,
-                 tracer: Optional[Tracer] = None):
+                 homes: dict[str, int] | None = None,
+                 max_reroutes: int | None = None,
+                 tracer: Tracer | None = None):
         self.dag = dag
         self.assignment = assignment
         self.n_nodes = n_nodes
@@ -1175,7 +1181,7 @@ class RunReport:
     #: structured runtime events (empty unless tracing was enabled)
     trace_events: list[TraceEvent] = field(default_factory=list)
     #: last watchdog diagnosis, when a mid-run stall was observed
-    diagnosis: Optional[Diagnosis] = None
+    diagnosis: Diagnosis | None = None
 
     @property
     def total_loads(self) -> int:
@@ -1191,11 +1197,11 @@ class RunReport:
 
     # -- trace persistence ---------------------------------------------------
 
-    def save_trace(self, path: "str | Path") -> Path:
+    def save_trace(self, path: str | Path) -> Path:
         """Write raw trace events as JSONL (``python -m repro trace <file>``)."""
         return save_events_jsonl(self.trace_events, path)
 
-    def save_chrome_trace(self, path: "str | Path") -> Path:
+    def save_chrome_trace(self, path: str | Path) -> Path:
         """Write a ``chrome://tracing`` / Perfetto JSON file."""
         return export_chrome_trace(self.trace_events, path)
 
@@ -1210,17 +1216,18 @@ class DOoCEngine:
         workers_per_node: int = 2,
         io_filters_per_node: int = 1,
         memory_budget_per_node: int = 256 * 2**20,
-        scratch_dir: "Optional[str | Path]" = None,
+        scratch_dir: str | Path | None = None,
         prefetch_depth: int = 2,
         rng_seed: int = 0,
         gc_arrays: bool = False,
         scheduler_reorder: bool = True,
-        trace: "bool | Tracer" = False,
-        watchdog_quiet_s: Optional[float] = 10.0,
-        faults: Optional[FaultPlan] = None,
-        io_retry: Optional[RetryPolicy] = None,
+        trace: bool | Tracer = False,
+        watchdog_quiet_s: float | None = 10.0,
+        faults: FaultPlan | None = None,
+        io_retry: RetryPolicy | None = None,
         task_max_attempts: int = 3,
-        task_max_reroutes: Optional[int] = None,
+        task_max_reroutes: int | None = None,
+        protocol_checkers: bool | None = None,
     ):
         if n_nodes < 1 or workers_per_node < 1 or io_filters_per_node < 1:
             raise DoocError("n_nodes, workers and I/O filters must be >= 1")
@@ -1241,6 +1248,13 @@ class DOoCEngine:
         self.task_max_attempts = task_max_attempts
         #: cross-node reroutes before giving up (None = every other node)
         self.task_max_reroutes = task_max_reroutes
+        #: run the protocol checkers (lock-order recorder, ticket-lifecycle
+        #: auditor, pre-execution DAG validation)?  None defers to the
+        #: ``DOOC_CHECKERS`` environment flag; production runs pay nothing.
+        if protocol_checkers is None:
+            from repro.analysis import checkers_enabled
+            protocol_checkers = checkers_enabled()
+        self.protocol_checkers = bool(protocol_checkers)
         #: ``trace=True`` records the run timeline (see repro.obs); a
         #: caller-provided Tracer is used as-is (e.g. a sim-clocked one).
         self.tracer = trace if isinstance(trace, Tracer) else Tracer(enabled=bool(trace))
@@ -1248,13 +1262,25 @@ class DOoCEngine:
         #: None disables the watchdog entirely.
         self.watchdog_quiet_s = watchdog_quiet_s
         self.rng = RngTree(rng_seed)
+        self._scratch_finalizer = None
         if scratch_dir is None:
-            self._tmp = tempfile.TemporaryDirectory(prefix="dooc-")
-            scratch_dir = self._tmp.name
+            # mkdtemp + a silent finalizer rather than TemporaryDirectory:
+            # engines routinely live until garbage collection (fetch() reads
+            # the scratch files after run()), and TemporaryDirectory's
+            # implicit-cleanup ResourceWarning turns every such engine into
+            # noise under ``-W error::ResourceWarning``.
+            scratch_dir = tempfile.mkdtemp(prefix="dooc-")
+            self._scratch_finalizer = weakref.finalize(
+                self, shutil.rmtree, scratch_dir, True)
         self.scratch_root = Path(scratch_dir)
         self.stores: dict[int, LocalStore] = {}
         self._descs: dict[str, ArrayDesc] = {}
         self._homes: dict[str, int] = {}
+
+    def cleanup(self) -> None:
+        """Delete an engine-owned scratch directory now (no-op otherwise)."""
+        if self._scratch_finalizer is not None:
+            self._scratch_finalizer()
 
     def node_scratch(self, node: int) -> Path:
         path = self.scratch_root / f"node{node}"
@@ -1264,6 +1290,15 @@ class DOoCEngine:
     # -- run ---------------------------------------------------------------------
 
     def run(self, program: Program, *, timeout: float = 300.0) -> RunReport:
+        auditor = None
+        if self.protocol_checkers:
+            from repro.analysis.dagcheck import validate_tasks
+            from repro.analysis.tickets import TicketAuditor
+            # Fail with a named diagnosis before any thread starts; TaskDAG
+            # would reject the same programs, but mid-construction and with
+            # less precise messages (e.g. a cycle candidate set, not a path).
+            validate_tasks(program.tasks, set(program.initial_data))
+            auditor = TicketAuditor()
         dag = program.build_dag()
         self._descs = dict(program.arrays)
         nbytes = {name: d.nbytes for name, d in self._descs.items()}
@@ -1298,7 +1333,7 @@ class DOoCEngine:
         # Per-node stores with the right registration per array.
         self.stores = {}
         directories = {}
-        injectors: dict[int, Optional[FaultInjector]] = {}
+        injectors: dict[int, FaultInjector | None] = {}
         inject = self.faults is not None and self.faults.enabled
         for node in range(self.n_nodes):
             store = LocalStore(node, self.memory_budget_per_node)
@@ -1317,6 +1352,7 @@ class DOoCEngine:
                         store.create_array(desc)
                 elif name in consumed_here:
                     store.register_remote(desc)
+            store.auditor = auditor
             self.stores[node] = store
             directories[node] = DirectoryClient(
                 node, self.n_nodes, self.rng.child("directory", node))
@@ -1326,7 +1362,11 @@ class DOoCEngine:
 
         layout = self._build_layout(program, dag, assignment, directories,
                                     nbytes, injectors)
-        runtime = ThreadedRuntime(layout)
+        recorder = None
+        if self.protocol_checkers:
+            from repro.analysis.lockorder import LockOrderRecorder
+            recorder = LockOrderRecorder()
+        runtime = ThreadedRuntime(layout, lock_recorder=recorder)
         watchdog = self._build_watchdog(runtime)
         self.tracer.instant(-1, "engine", "run", "phase",
                             phase="start", program=program.name)
@@ -1348,6 +1388,10 @@ class DOoCEngine:
             if watchdog is not None:
                 watchdog.stop()
         self.tracer.instant(-1, "engine", "run", "phase", phase="end")
+        if auditor is not None:
+            # Every grant on every node must have been unwound by a release
+            # or an abandonment; leaks are named ticket-by-ticket.
+            auditor.assert_clean()
         wall = time.monotonic() - started
         return RunReport(
             wall_seconds=wall,
@@ -1359,7 +1403,7 @@ class DOoCEngine:
             diagnosis=watchdog.last_diagnosis if watchdog is not None else None,
         )
 
-    def _build_watchdog(self, runtime: ThreadedRuntime) -> Optional[StallWatchdog]:
+    def _build_watchdog(self, runtime: ThreadedRuntime) -> StallWatchdog | None:
         if not self.watchdog_quiet_s:
             return None
         watchdog = StallWatchdog(self.tracer, quiet_s=self.watchdog_quiet_s)
@@ -1374,7 +1418,7 @@ class DOoCEngine:
                       assignment: dict[str, int],
                       directories: dict[int, DirectoryClient],
                       nbytes: dict[str, int],
-                      injectors: "dict[int, Optional[FaultInjector]]",
+                      injectors: dict[int, FaultInjector | None],
                       ) -> Layout:
         n = self.n_nodes
         layout = Layout(program.name)

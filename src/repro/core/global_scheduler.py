@@ -9,7 +9,7 @@ bytes), then the lowest node index — both deterministic.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.core.dag import TaskDAG
 from repro.core.errors import SchedulingError

@@ -23,7 +23,6 @@ from pathlib import Path
 
 import numpy as np
 
-from typing import Optional
 
 from repro.core.array import ArrayDesc
 from repro.core.errors import StorageError
@@ -157,10 +156,10 @@ class IOFilter(Filter):
     outputs = ("out",)
 
     def __init__(self, scratch: Path, *, node: int = -1,
-                 tracer: Optional[Tracer] = None,
-                 retry: Optional[RetryPolicy] = None,
-                 injector: Optional[FaultInjector] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 tracer: Tracer | None = None,
+                 retry: RetryPolicy | None = None,
+                 injector: FaultInjector | None = None,
+                 metrics: MetricsRegistry | None = None):
         self.scratch = Path(scratch)
         self.node = node
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
@@ -179,7 +178,7 @@ class IOFilter(Filter):
         Returns ``(result, None)`` on success or ``(None, error)`` once the
         policy is exhausted (or a permanent fault is injected).
         """
-        last: Optional[BaseException] = None
+        last: BaseException | None = None
         for attempt in range(self.retry.attempts):
             if attempt > 0:
                 self._inc("io_retries")

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import AbstractSet, Mapping, Optional
+from collections.abc import Mapping
+from typing import AbstractSet
 
 from repro.core.task import TaskSpec
 
@@ -90,7 +91,7 @@ class LocalSchedulerCore:
         return [e.task for e in entries]
 
     def pick(self, resident: AbstractSet[str],
-             nbytes: Mapping[str, int]) -> Optional[TaskSpec]:
+             nbytes: Mapping[str, int]) -> TaskSpec | None:
         """Choose and *claim* the next task to run (None when idle)."""
         ranked = self.rank(resident, nbytes)
         if not ranked:

@@ -26,7 +26,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Literal, Optional
+from typing import Any, Literal
 
 import numpy as np
 
@@ -51,8 +51,8 @@ class Effect:
                   "grant_write", "deny"]
     array: str = ""
     block: int = -1
-    data: Optional[np.ndarray] = None
-    ticket: Optional["Ticket"] = None
+    data: np.ndarray | None = None
+    ticket: Ticket | None = None
     error: str = ""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -70,7 +70,7 @@ class Ticket:
     permission: Permission
     granted: bool = False
     released: bool = False
-    data: Optional[np.ndarray] = None  # view into the block, set at grant
+    data: np.ndarray | None = None  # view into the block, set at grant
     tag: Any = None  # opaque driver correlation slot
 
 
@@ -101,7 +101,7 @@ class StoreStats:
         self.loads_by_array[array] = self.loads_by_array.get(array, 0) + 1
 
     @classmethod
-    def from_metrics(cls, metrics: MetricsRegistry) -> "StoreStats":
+    def from_metrics(cls, metrics: MetricsRegistry) -> StoreStats:
         return cls(
             loads=metrics.get("loads"),
             spills=metrics.get("spills"),
@@ -129,7 +129,7 @@ class _BlockState:
     desc: ArrayDesc
     block: int
     status: str = _ABSENT
-    data: Optional[np.ndarray] = None
+    data: np.ndarray | None = None
     on_disk: bool = False
     remote: bool = False           # home is another node; droppable when cached
     sealed: bool = False           # every element written (or discovered on disk)
@@ -149,10 +149,7 @@ class _BlockState:
 
     def covers(self, lo: int, hi: int) -> bool:
         """Is [lo, hi) fully inside the written ranges?"""
-        for wlo, whi in self.written:
-            if wlo <= lo and hi <= whi:
-                return True
-        return False
+        return any(wlo <= lo and hi <= whi for wlo, whi in self.written)
 
     def overlaps_written(self, lo: int, hi: int) -> bool:
         return any(lo < whi and wlo < hi for wlo, whi in self.written)
@@ -190,6 +187,11 @@ class LocalStore:
         # FIFO of (needed_bytes, thunk) waiting for memory; thunk returns effects.
         self._alloc_queue: deque[tuple[int, Any]] = deque()
         self.metrics = MetricsRegistry(node)
+        #: Optional :class:`repro.analysis.tickets.TicketAuditor`; when set
+        #: (engine under ``DOOC_CHECKERS=1``) every grant/release/abandon is
+        #: reported so leaks can be named at teardown.  ``None`` in
+        #: production — the hooks cost a single attribute test.
+        self.auditor: Any = None
 
     @property
     def stats(self) -> StoreStats:
@@ -310,6 +312,8 @@ class LocalStore:
         if not ticket.granted:
             raise StorageError(f"ticket {ticket.tid} released before being granted")
         ticket.released = True
+        if self.auditor is not None:
+            self.auditor.note_released(self.node, ticket)
         iv = ticket.interval
         st = self._state(iv.array, iv.block)
         st.lru = next(self._clock)
@@ -485,6 +489,8 @@ class LocalStore:
             raise StorageError(
                 f"ticket {ticket.tid} abandoned before being granted")
         ticket.released = True
+        if self.auditor is not None:
+            self.auditor.note_abandoned(self.node, ticket)
         iv = ticket.interval
         st = self._state(iv.array, iv.block)
         st.writers -= 1
@@ -572,7 +578,7 @@ class LocalStore:
     def headroom(self) -> int:
         return self.budget - self.in_use
 
-    def peek_block(self, name: str, block: int) -> Optional[np.ndarray]:
+    def peek_block(self, name: str, block: int) -> np.ndarray | None:
         """Resident sealed data of a block (read-only), else None.
 
         For post-run inspection only — does not pin, touch LRU, or count as
@@ -697,6 +703,8 @@ class LocalStore:
         ticket.data = view
         ticket.granted = True
         st.readers += 1
+        if self.auditor is not None:
+            self.auditor.note_granted(self.node, ticket)
         return Effect("grant_read", st.desc.name, st.block, ticket=ticket)
 
     def _grant_write(self, st: _BlockState, ticket: Ticket) -> list[Effect]:
@@ -705,6 +713,8 @@ class LocalStore:
             st.status = _RESIDENT
         ticket.data = st.data[ticket.interval.local_slice(st.desc)]
         ticket.granted = True
+        if self.auditor is not None:
+            self.auditor.note_granted(self.node, ticket)
         return [Effect("grant_write", st.desc.name, st.block, ticket=ticket)]
 
     def _wake_readers(self, st: _BlockState) -> list[Effect]:
@@ -842,7 +852,7 @@ class LocalStore:
         progress = True
         while progress and self._alloc_queue:
             progress = False
-            min_failed: Optional[int] = None  # smallest need that failed
+            min_failed: int | None = None  # smallest need that failed
             still_blocked: deque[tuple[int, Any]] = deque()
             while self._alloc_queue:
                 need, thunk = self._alloc_queue.popleft()

@@ -9,7 +9,8 @@ layer".  The dependency DAG is *derived* from these declarations
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 from repro.core.errors import SchedulingError
 
@@ -32,7 +33,7 @@ class TaskSpec:
     """
 
     name: str
-    fn: Optional[TaskFn]
+    fn: TaskFn | None
     inputs: tuple[str, ...]
     outputs: tuple[str, ...]
     flops: float = 0.0
@@ -57,9 +58,9 @@ class TaskSpec:
 
 def task(
     name: str,
-    fn: Optional[TaskFn],
-    inputs: "list[str] | tuple[str, ...]" = (),
-    outputs: "list[str] | tuple[str, ...]" = (),
+    fn: TaskFn | None,
+    inputs: list[str] | tuple[str, ...] = (),
+    outputs: list[str] | tuple[str, ...] = (),
     *,
     flops: float = 0.0,
     splittable: bool = False,

@@ -8,7 +8,8 @@ byte-size estimate used for flow-control accounting.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Optional
+from collections.abc import Mapping
+from typing import Any
 
 import numpy as np
 
@@ -16,9 +17,9 @@ import numpy as np
 class _EndOfStream:
     """Sentinel marking stream termination; singleton, falsy."""
 
-    _instance: Optional["_EndOfStream"] = None
+    _instance: _EndOfStream | None = None
 
-    def __new__(cls) -> "_EndOfStream":
+    def __new__(cls) -> _EndOfStream:
         if cls._instance is None:
             cls._instance = super().__new__(cls)
         return cls._instance
@@ -63,8 +64,8 @@ class DataBuffer:
     def __init__(
         self,
         payload: Any,
-        meta: Optional[dict[str, Any]] = None,
-        nbytes: Optional[int] = None,
+        meta: dict[str, Any] | None = None,
+        nbytes: int | None = None,
     ):
         self.payload = payload
         self.meta = dict(meta) if meta else {}
@@ -72,7 +73,7 @@ class DataBuffer:
         if self.nbytes < 0:
             raise ValueError("nbytes must be non-negative")
 
-    def tagged(self, **meta: Any) -> "DataBuffer":
+    def tagged(self, **meta: Any) -> DataBuffer:
         """A shallow copy with extra metadata (payload shared)."""
         merged = dict(self.meta)
         merged.update(meta)

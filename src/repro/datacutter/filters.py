@@ -8,7 +8,8 @@ determining the filter and stream layout".
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.datacutter.buffers import END_OF_STREAM, DataBuffer
 
@@ -19,7 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class FilterContext:
     """The runtime services visible to one filter instance."""
 
-    def __init__(self, runtime: "_InstanceRuntime"):
+    def __init__(self, runtime: _InstanceRuntime):
         self._rt = runtime
 
     @property
@@ -41,11 +42,11 @@ class FilterContext:
         """Logical node this instance is placed on."""
         return self._rt.spec.node_of(self._rt.instance)
 
-    def read(self, port: str, timeout: Optional[float] = None):
+    def read(self, port: str, timeout: float | None = None):
         """Next buffer on ``port`` (blocking); END_OF_STREAM when drained."""
         return self._rt.read(port, timeout)
 
-    def read_any(self, ports: Sequence[str], timeout: Optional[float] = None):
+    def read_any(self, ports: Sequence[str], timeout: float | None = None):
         """Wait for a buffer on any of ``ports``.
 
         Returns ``(port, buffer)``; ``(None, END_OF_STREAM)`` once every

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.datacutter.errors import LayoutError
 from repro.datacutter.filters import Filter
@@ -64,7 +64,7 @@ class StreamSpec:
     dst: str
     dst_port: str
     policy: DistributionPolicy = DistributionPolicy.ROUND_ROBIN
-    hash_key: Optional[str] = None
+    hash_key: str | None = None
     capacity: int = 16
 
     def __post_init__(self) -> None:
@@ -89,8 +89,8 @@ class Layout:
         *,
         instances: int = 1,
         replicable: bool = False,
-        placement: Optional[list[int]] = None,
-    ) -> "Layout":
+        placement: list[int] | None = None,
+    ) -> Layout:
         """Declare a filter; returns self for chaining."""
         if name in self.filters:
             raise LayoutError(f"duplicate filter name {name!r}")
@@ -111,10 +111,10 @@ class Layout:
         dst_port: str,
         *,
         policy: DistributionPolicy = DistributionPolicy.ROUND_ROBIN,
-        hash_key: Optional[str] = None,
+        hash_key: str | None = None,
         capacity: int = 16,
-        name: Optional[str] = None,
-    ) -> "Layout":
+        name: str | None = None,
+    ) -> Layout:
         """Declare a stream from ``src.src_port`` to ``dst.dst_port``."""
         stream_name = name or f"{src}.{src_port}->{dst}.{dst_port}"
         if stream_name in self.streams:

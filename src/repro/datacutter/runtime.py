@@ -19,7 +19,7 @@ import itertools
 import threading
 import time
 from collections import deque
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.datacutter.buffers import END_OF_STREAM, DataBuffer
 from repro.datacutter.errors import FilterError, LayoutError, StreamClosedError
@@ -52,7 +52,7 @@ class _Channel:
 class _StreamWriter:
     """Producer-side handle distributing buffers over consumer channels."""
 
-    def __init__(self, stream: StreamSpec, channels: list[_Channel], runtime: "ThreadedRuntime"):
+    def __init__(self, stream: StreamSpec, channels: list[_Channel], runtime: ThreadedRuntime):
         self.stream = stream
         self.channels = channels
         self.runtime = runtime
@@ -106,7 +106,7 @@ class _StreamWriter:
 class _InstanceRuntime:
     """Everything one filter instance's thread needs."""
 
-    def __init__(self, runtime: "ThreadedRuntime", spec, instance: int, filt: Filter):
+    def __init__(self, runtime: ThreadedRuntime, spec, instance: int, filt: Filter):
         self.runtime = runtime
         self.spec = spec
         self.instance = instance
@@ -121,7 +121,7 @@ class _InstanceRuntime:
 
     # -- reading ------------------------------------------------------------
 
-    def _try_pop(self, port: str) -> Optional[DataBuffer]:
+    def _try_pop(self, port: str) -> DataBuffer | None:
         """Pop from one of the port's channels (rotating), or None."""
         channels = self.in_channels[port]
         start = self._read_rotation.get(port, 0)
@@ -137,7 +137,7 @@ class _InstanceRuntime:
     def _port_eos(self, port: str) -> bool:
         return all(ch.at_eos for ch in self.in_channels[port])
 
-    def read(self, port: str, timeout: Optional[float] = None):
+    def read(self, port: str, timeout: float | None = None):
         if port not in self.in_channels:
             if port in self.filter.inputs:
                 return END_OF_STREAM  # declared but unconnected: empty stream
@@ -156,7 +156,7 @@ class _InstanceRuntime:
                     raise TimeoutError(f"read({port!r}) timed out")
                 self.cond.wait(_POLL_S)
 
-    def read_any(self, ports: Sequence[str], timeout: Optional[float] = None):
+    def read_any(self, ports: Sequence[str], timeout: float | None = None):
         for port in ports:
             if port not in self.in_channels and port not in self.filter.inputs:
                 raise LayoutError(
@@ -216,7 +216,7 @@ class _InstanceRuntime:
 class ThreadedRuntime:
     """Runs a :class:`~repro.datacutter.layout.Layout` on OS threads."""
 
-    def __init__(self, layout: Layout):
+    def __init__(self, layout: Layout, *, lock_recorder=None):
         layout.validate()
         for stream in layout.streams.values():
             if stream.src == stream.dst:
@@ -225,6 +225,14 @@ class ThreadedRuntime:
                     "into two stages instead"
                 )
         self.layout = layout
+        if lock_recorder is None:
+            # Function-level import: repro.analysis is lazy, but its checker
+            # modules reach back into repro.core, which imports this module.
+            from repro.analysis import checkers_enabled
+            if checkers_enabled():
+                from repro.analysis.lockorder import LockOrderRecorder
+                lock_recorder = LockOrderRecorder()
+        self.lock_recorder = lock_recorder
         self._failed = threading.Event()
         self._stop = threading.Event()
         self._errors: list[FilterError] = []
@@ -234,12 +242,18 @@ class ThreadedRuntime:
         self._build()
 
     def _build(self) -> None:
-        # 1. instantiate filters
+        # 1. instantiate filters; wrap each instance's condition *before*
+        #    step 2 so every channel captures the recording proxy
         for name, spec in self.layout.filters.items():
-            self.instances[name] = [
+            insts = [
                 _InstanceRuntime(self, spec, i, spec.factory())
                 for i in range(spec.instances)
             ]
+            if self.lock_recorder is not None:
+                for inst in insts:
+                    inst.cond = self.lock_recorder.wrap_condition(
+                        inst.cond, f"{name}#{inst.instance}.cond")
+            self.instances[name] = insts
         # 2. materialize channels per (stream, consumer instance)
         for stream in self.layout.streams.values():
             producers = self.layout.filters[stream.src].instances
@@ -296,7 +310,7 @@ class ThreadedRuntime:
         for thread in self._threads:
             thread.start()
 
-    def join(self, timeout: Optional[float] = None) -> None:
+    def join(self, timeout: float | None = None) -> None:
         deadline = None if timeout is None else time.monotonic() + timeout
         for thread in self._threads:
             remaining = None
@@ -307,14 +321,20 @@ class ThreadedRuntime:
                 self._stop.set()
                 self._failed.set()
                 self._wake_all()
+                if self.lock_recorder is not None:
+                    # A recorded ordering cycle is a better diagnosis than a
+                    # bare timeout: name the deadlock if we saw one.
+                    self.lock_recorder.check()
                 raise TimeoutError(
                     f"filter thread {thread.name} still running after "
                     f"{timeout} s (possible stream deadlock)"
                 )
         if self._errors:
             raise self._errors[0]
+        if self.lock_recorder is not None:
+            self.lock_recorder.check()
 
-    def run(self, timeout: Optional[float] = None) -> None:
+    def run(self, timeout: float | None = None) -> None:
         """start() + join(); the normal entry point."""
         self.start()
         self.join(timeout)

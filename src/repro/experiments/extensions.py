@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.ci.cases import TABLE1_CASES
 from repro.cluster.spec import carver_colocated_ssd

@@ -16,7 +16,7 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from tempfile import TemporaryDirectory
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -45,7 +45,7 @@ class Fig5Result:
     #: per node, the *row indices* of sub-matrix loads in timestamp order
     #: (from the run trace) — the figure's traversal direction, not just
     #: its load count
-    engine_load_order: Dict[int, List[int]] = field(default_factory=dict)
+    engine_load_order: dict[int, list[int]] = field(default_factory=dict)
     #: raw trace events of the engine run (obs schema)
     trace_events: list = field(default_factory=list)
 
@@ -53,9 +53,9 @@ class Fig5Result:
 _A_LOAD = re.compile(r"^A_(\d+)_(\d+)$")
 
 
-def matrix_load_order(trace_events) -> Dict[int, List[int]]:
+def matrix_load_order(trace_events) -> dict[int, list[int]]:
     """Per-node sequence of sub-matrix row indices, from storage.load spans."""
-    order: Dict[int, List[int]] = {}
+    order: dict[int, list[int]] = {}
     for e in sorted(trace_events, key=lambda e: e.ts):
         if e.cat != "storage" or e.name != "load":
             continue
@@ -66,7 +66,7 @@ def matrix_load_order(trace_events) -> Dict[int, List[int]]:
 
 
 def run(*, iterations: int = 3, seed: int = 3,
-        scratch_dir: "Optional[str | Path]" = None) -> Fig5Result:
+        scratch_dir: str | Path | None = None) -> Fig5Result:
     k = 3
     rng = np.random.default_rng(seed)
     n = 150

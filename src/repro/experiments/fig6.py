@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.experiments import table34
 from repro.experiments.paperdata import TABLE3, TABLE4
@@ -21,7 +21,7 @@ class Fig6Point:
 
 
 def run(*, node_counts: Sequence[int] = table34.NODE_COUNTS, seed: int = 1,
-        params: Optional[TestbedParams] = None) -> list[Fig6Point]:
+        params: TestbedParams | None = None) -> list[Fig6Point]:
     workload = TestbedWorkload()
     points = []
     for policy, published in (("simple", TABLE3), ("interleaved", TABLE4)):

@@ -7,7 +7,7 @@ I/O-bandwidth-per-node point), which undercuts the comparable Hopper run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.ci.cases import TABLE1_CASES
 from repro.experiments.paperdata import STAR_RUN
@@ -30,7 +30,7 @@ class Fig7Result:
 
 
 def run(*, node_counts: Sequence[int] = (1, 4, 9, 16, 25, 36), seed: int = 1,
-        params: Optional[TestbedParams] = None) -> Fig7Result:
+        params: TestbedParams | None = None) -> Fig7Result:
     testbed_points = []
     for nodes in node_counts:
         row = run_testbed_spmv(nodes, "interleaved", seed=seed,

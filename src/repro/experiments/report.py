@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
-                 *, title: Optional[str] = None) -> str:
+                 *, title: str | None = None) -> str:
     """A fixed-width text table."""
     str_rows = [[_cell(c) for c in row] for row in rows]
     widths = [len(h) for h in headers]
@@ -18,10 +18,10 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
     if title:
         lines.append(title)
     sep = "-+-".join("-" * w for w in widths)
-    lines.append(" | ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(headers, widths, strict=True)))
     lines.append(sep)
     for row in str_rows:
-        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 
@@ -52,7 +52,7 @@ def ascii_chart(
     logy: bool = False,
     xlabel: str = "",
     ylabel: str = "",
-    markers: Optional[dict[str, str]] = None,
+    markers: dict[str, str] | None = None,
 ) -> str:
     """A minimal ASCII scatter/line chart for Figs. 6 and 7.
 

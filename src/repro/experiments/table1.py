@@ -30,7 +30,7 @@ class Table1Row:
     h_local_mb: float
 
 
-def run(*, cases: "tuple[Table1Case, ...]" = TABLE1_CASES,
+def run(*, cases: tuple[Table1Case, ...] = TABLE1_CASES,
         nnz_samples: int = 30, seed: int = 0) -> list[Table1Row]:
     """Regenerate Table I (all four cases by default)."""
     rows = []

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.experiments.paperdata import TABLE3, TABLE4
 from repro.experiments.report import format_table, ratio
@@ -20,7 +20,7 @@ class SweepRow:
 
 
 def run(policy: str, *, node_counts: Sequence[int] = NODE_COUNTS,
-        seed: int = 1, params: Optional[TestbedParams] = None) -> list[SweepRow]:
+        seed: int = 1, params: TestbedParams | None = None) -> list[SweepRow]:
     """Run the sweep for one policy (Table III: simple, IV: interleaved)."""
     published = TABLE3 if policy == "simple" else TABLE4
     rows = []

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.util.rng import _digest_seed
 
@@ -53,7 +52,7 @@ class RetryPolicy:
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError("jitter must be in [0, 1)")
 
-    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
         """Seconds to wait before retry ``attempt`` (1-based)."""
         if attempt < 1:
             raise ValueError("attempt must be >= 1")
@@ -110,7 +109,7 @@ class FaultPlan:
     # -- decision points ------------------------------------------------------
 
     def io_fault(self, node: int, op: str, array: str, block: int,
-                 attempt: int) -> Optional[str]:
+                 attempt: int) -> str | None:
         """``"permanent"``, ``"transient"`` or None for one I/O attempt."""
         if self.io_permanent and self._draw(
                 "io-perm", node, op, array, block) < self.io_permanent:
@@ -120,8 +119,8 @@ class FaultPlan:
             return "transient"
         return None
 
-    def peer_fault(self, src: int, dst: int, op: str, array: Optional[str],
-                   block: int, occurrence: int) -> Optional[tuple[str, float]]:
+    def peer_fault(self, src: int, dst: int, op: str, array: str | None,
+                   block: int, occurrence: int) -> tuple[str, float] | None:
         """``("drop", 0)``, ``("delay", s)`` or None for one peer message."""
         site = ("peer", src, dst, op, array, block, occurrence)
         if self.peer_drop and self._draw("drop", *site) < self.peer_drop:
@@ -160,15 +159,15 @@ class FaultInjector:
             self.tracer.instant(self.node, "faults", "fault", kind, **args)
 
     def io_fault(self, op: str, array: str, block: int,
-                 attempt: int) -> Optional[str]:
+                 attempt: int) -> str | None:
         kind = self.plan.io_fault(self.node, op, array, block, attempt)
         if kind is not None:
             self._record(f"io_{kind}", op=op, array=array, block=block,
                          attempt=attempt)
         return kind
 
-    def peer_fault(self, dst: int, op: str, array: Optional[str],
-                   block: int) -> Optional[tuple[str, float]]:
+    def peer_fault(self, dst: int, op: str, array: str | None,
+                   block: int) -> tuple[str, float] | None:
         key = (dst, op, array, block)
         occurrence = self._peer_seq.get(key, 0)
         self._peer_seq[key] = occurrence + 1

@@ -17,9 +17,11 @@ therefore takes a pluggable basis store:
 
 from __future__ import annotations
 
+import shutil
 import tempfile
+import weakref
 from pathlib import Path
-from typing import Optional, Protocol
+from typing import Protocol
 
 import numpy as np
 
@@ -80,7 +82,7 @@ class DiskBasis:
     billion-dimensional basis feasible on nodes with ~1 GB per core.
     """
 
-    def __init__(self, n: int, *, scratch_dir: "Optional[str | Path]" = None,
+    def __init__(self, n: int, *, scratch_dir: str | Path | None = None,
                  block_elems: int = 2**16, cache_last: int = 2):
         if n < 1:
             raise ValueError("n must be >= 1")
@@ -88,8 +90,11 @@ class DiskBasis:
             raise ValueError("cache_last must be >= 1 (Lanczos needs v_j)")
         self.n = n
         if scratch_dir is None:
-            self._tmp = tempfile.TemporaryDirectory(prefix="lanczos-basis-")
-            scratch_dir = self._tmp.name
+            # mkdtemp + silent finalizer: bases live until garbage
+            # collection, and TemporaryDirectory's implicit-cleanup warning
+            # fails suites running under ``-W error::ResourceWarning``.
+            scratch_dir = tempfile.mkdtemp(prefix="lanczos-basis-")
+            weakref.finalize(self, shutil.rmtree, scratch_dir, True)
         self.scratch = Path(scratch_dir)
         self.scratch.mkdir(parents=True, exist_ok=True)
         self.block_elems = block_elems

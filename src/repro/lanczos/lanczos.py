@@ -16,7 +16,7 @@ Hopper's memory is what this addresses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from collections.abc import Callable
 
 import numpy as np
 import scipy.linalg
@@ -29,7 +29,7 @@ class LanczosResult:
     """Outcome of a Lanczos run."""
 
     eigenvalues: np.ndarray        # converged (or best) Ritz values, ascending
-    eigenvectors: Optional[np.ndarray]  # Ritz vectors (n x k), or None
+    eigenvectors: np.ndarray | None  # Ritz vectors (n x k), or None
     alphas: np.ndarray             # tridiagonal diagonal
     betas: np.ndarray              # tridiagonal off-diagonal
     iterations: int
@@ -51,11 +51,11 @@ def lanczos(
     *,
     k: int = 50,
     n_eigenvalues: int = 5,
-    rng: Optional[np.random.Generator] = None,
-    v0: Optional[np.ndarray] = None,
+    rng: np.random.Generator | None = None,
+    v0: np.ndarray | None = None,
     tol: float = 1e-10,
     want_vectors: bool = False,
-    basis: Optional[BasisStore] = None,
+    basis: BasisStore | None = None,
 ) -> LanczosResult:
     """Run up to ``k`` Lanczos steps with full reorthogonalization.
 
@@ -86,7 +86,7 @@ def lanczos(
         n, steps + 1)
     store.append(v)
     v_curr = v
-    v_prev: Optional[np.ndarray] = None
+    v_prev: np.ndarray | None = None
     alphas: list[float] = []
     betas: list[float] = []
 

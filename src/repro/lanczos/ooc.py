@@ -11,7 +11,8 @@ proposes for MFDn on SSD clusters.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from collections.abc import Callable
+from typing import Dict
 
 import numpy as np
 
@@ -25,14 +26,14 @@ class OutOfCoreLanczos:
 
     def __init__(
         self,
-        blocks: Dict[tuple[int, int], CSRBlock],
+        blocks: dict[tuple[int, int], CSRBlock],
         *,
         n_nodes: int = 1,
         workers_per_node: int = 2,
         memory_budget_per_node: int = 256 * 2**20,
-        scratch_dir: "Optional[str | Path]" = None,
+        scratch_dir: str | Path | None = None,
         policy: str = "interleaved",
-        owner: Optional[Callable[[int, int], int]] = None,
+        owner: Callable[[int, int], int] | None = None,
         rng_seed: int = 0,
     ):
         self.operator = OutOfCoreMatrix(
@@ -67,7 +68,7 @@ class OutOfCoreLanczos:
         *,
         k: int = 50,
         n_eigenvalues: int = 5,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
         tol: float = 1e-9,
         want_vectors: bool = False,
         basis_on_disk: bool = False,

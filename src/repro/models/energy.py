@@ -78,7 +78,7 @@ def testbed_energy(row: TestbedRow, *, power: PowerModel = PowerModel(),
 
 
 def hopper_energy(case: Table1Case, *, power: PowerModel = PowerModel(),
-                  model: "MFDnHopperModel | None" = None) -> EnergyPerIteration:
+                  model: MFDnHopperModel | None = None) -> EnergyPerIteration:
     """Energy of one modelled MFDn iteration on Hopper."""
     model = model or MFDnHopperModel()
     it = model.iteration(

@@ -28,12 +28,16 @@ from repro.obs.chrome import (
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import SCHEMA_VERSION, TraceEvent, Tracer
+from repro.obs.vocab import EVENT_NAMES, EVENTS, is_known_event
 from repro.obs.watchdog import Diagnosis, StallWatchdog
 
 __all__ = [
     "SCHEMA_VERSION",
     "TraceEvent",
     "Tracer",
+    "EVENTS",
+    "EVENT_NAMES",
+    "is_known_event",
     "MetricsRegistry",
     "StallWatchdog",
     "Diagnosis",

@@ -10,7 +10,7 @@ Chrome-trace schema and can be compared side by side in one viewer.
 from __future__ import annotations
 
 import re
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.obs.tracer import TraceEvent
 from repro.sim.trace import Interval, Point, TraceRecorder

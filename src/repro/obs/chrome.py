@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Union
+from collections.abc import Iterable
 
 from repro.obs.tracer import SCHEMA_VERSION, TraceEvent
 
@@ -72,7 +72,7 @@ def to_chrome(events: Iterable[TraceEvent]) -> dict:
 
 
 def export_chrome_trace(events: Iterable[TraceEvent],
-                        path: Union[str, Path]) -> Path:
+                        path: str | Path) -> Path:
     """Write ``events`` as a Chrome-trace JSON file; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -80,7 +80,7 @@ def export_chrome_trace(events: Iterable[TraceEvent],
     return path
 
 
-def load_chrome_trace(path: Union[str, Path]) -> dict:
+def load_chrome_trace(path: str | Path) -> dict:
     return json.loads(Path(path).read_text())
 
 
@@ -141,7 +141,7 @@ def normalize_chrome_trace(doc: dict) -> dict:
 
 
 def save_events_jsonl(events: Iterable[TraceEvent],
-                      path: Union[str, Path]) -> Path:
+                      path: str | Path) -> Path:
     """One JSON object per line; the lossless on-disk form of a run trace."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -152,7 +152,7 @@ def save_events_jsonl(events: Iterable[TraceEvent],
     return path
 
 
-def load_events_jsonl(path: Union[str, Path]) -> list[TraceEvent]:
+def load_events_jsonl(path: str | Path) -> list[TraceEvent]:
     events: list[TraceEvent] = []
     with open(path) as fh:
         for line in fh:

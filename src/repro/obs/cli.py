@@ -24,7 +24,8 @@ from repro.obs.tracer import TraceEvent
 
 
 def _load(path: Path) -> list[TraceEvent]:
-    text_head = path.open().read(512).lstrip()
+    with path.open() as fh:
+        text_head = fh.read(512).lstrip()
     if text_head.startswith("{") and '"traceEvents"' in path.read_text():
         doc = json.loads(path.read_text())
         records = validate_chrome_trace(doc)
@@ -72,7 +73,7 @@ def _summary(events: list[TraceEvent]) -> str:
     return "\n".join(lines)
 
 
-def main(argv: "list[str] | None" = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro trace",
         description="Summarize a run trace or convert it for chrome://tracing.",

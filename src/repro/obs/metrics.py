@@ -11,7 +11,6 @@ records high-watermark gauges (e.g. peak allocation-queue depth).
 from __future__ import annotations
 
 import threading
-from typing import Optional
 
 __all__ = ["MetricsRegistry"]
 
@@ -32,7 +31,7 @@ class MetricsRegistry:
 
     # -- writing --------------------------------------------------------------
 
-    def inc(self, name: str, n: int = 1, *, label: Optional[str] = None) -> None:
+    def inc(self, name: str, n: int = 1, *, label: str | None = None) -> None:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + n
             if label is not None:

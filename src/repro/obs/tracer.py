@@ -55,7 +55,8 @@ import time
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from collections.abc import Callable, Iterator
+from typing import Any
 
 __all__ = ["TraceEvent", "Tracer"]
 
@@ -92,7 +93,7 @@ class TraceEvent:
         return out
 
     @classmethod
-    def from_json(cls, obj: dict) -> "TraceEvent":
+    def from_json(cls, obj: dict) -> TraceEvent:
         return cls(
             ts=float(obj["ts"]), node=int(obj["node"]), lane=str(obj["lane"]),
             cat=str(obj["cat"]), name=str(obj["name"]), ph=str(obj.get("ph", "i")),
@@ -126,7 +127,7 @@ class Tracer:
     """
 
     def __init__(self, *, enabled: bool = True, capacity: int = 1 << 16,
-                 clock: Optional[Callable[[], float]] = None):
+                 clock: Callable[[], float] | None = None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.enabled = enabled
@@ -169,7 +170,7 @@ class Tracer:
                              args={"value": value, **args}))
 
     def complete(self, node: int, lane: str, cat: str, name: str,
-                 start: float, *, end: Optional[float] = None, **args: Any) -> None:
+                 start: float, *, end: float | None = None, **args: Any) -> None:
         """Record a finished span that began at tracer time ``start``."""
         end = self.now() if end is None else end
         self.emit(TraceEvent(start, node, lane, cat, name, "X",
@@ -186,7 +187,7 @@ class Tracer:
 
     # -- consumption ----------------------------------------------------------
 
-    def events(self, node: Optional[int] = None) -> list[TraceEvent]:
+    def events(self, node: int | None = None) -> list[TraceEvent]:
         """Snapshot of recorded events (all nodes by default), time-ordered."""
         out: list[TraceEvent] = []
         with self._rings_lock:
@@ -216,7 +217,7 @@ class Tracer:
         with self._rings_lock:
             return {n: r.dropped for n, r in self._rings.items() if r.dropped}
 
-    def ingest(self, events: "list[TraceEvent]") -> None:
+    def ingest(self, events: list[TraceEvent]) -> None:
         """Bulk-append externally produced events (e.g. the DES bridge)."""
         for e in events:
             self.emit(e)

@@ -1,0 +1,75 @@
+"""The central trace-event vocabulary.
+
+Every event name emitted through :class:`repro.obs.Tracer` must come from
+this table — it is the single source of truth for the schema documented in
+:mod:`repro.obs.tracer` and rendered by the Chrome exporter.  Keeping the
+vocabulary in one place means dashboards, trace assertions and the stall
+watchdog never chase a misspelled or undocumented event name.
+
+The ``DOOC004`` lint rule (:mod:`repro.analysis.rules`) enforces this
+mechanically: a string literal passed as the event name to
+``Tracer.instant`` / ``complete`` / ``counter`` / ``span`` must be a key of
+:data:`EVENTS`.  Dynamically computed names (e.g. the fault injector's
+per-kind events) cannot be checked lexically and are exempt; register the
+possible values here anyway so readers can find them.
+
+To add a new event: add it to :data:`EVENTS` with its category and a
+one-line meaning, then use the literal at the emit site.  The lint fails
+until both halves agree.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EVENTS", "EVENT_NAMES", "is_known_event"]
+
+#: name -> (category, phase, meaning).  Phases follow the Chrome trace
+#: convention: "X" complete span, "i" instant, "C" counter.
+EVENTS: dict[str, tuple[str, str, str]] = {
+    # -- task lifecycle -----------------------------------------------------
+    "task": ("task", "X", "one task body executing on a worker"),
+    "dispatch": ("task", "i", "scheduler handed a task to a worker"),
+    "grant_wait": ("task", "X", "worker waited for storage grants"),
+    "task_failed": ("task", "i", "a task attempt failed on a worker"),
+    "task_retry": ("task", "i", "scheduler re-queued a failed task"),
+    "task_escalate": ("task", "i", "local retries exhausted; sent to gsched"),
+    "task_reroute": ("task", "i", "gsched moved a task to another node"),
+    # -- storage ------------------------------------------------------------
+    "load": ("storage", "X", "block load: io_cmd write -> io_done"),
+    "spill": ("storage", "X", "block spill: io_cmd write -> io_done"),
+    "drop": ("storage", "i", "block dropped from memory"),
+    "fetch_remote": ("storage", "X", "remote block fetch round trip"),
+    "alloc_queue": ("storage", "C", "allocation queue depth"),
+    "io_failed": ("storage", "i", "storage received an io_error reply"),
+    "deny": ("storage", "i", "a blocked ticket was failed fast"),
+    "fetch_retry": ("storage", "i", "unanswered peer fetch retransmitted"),
+    "lookup_retry": ("storage", "i", "unanswered owner lookup retransmitted"),
+    "lookup_restart": ("storage", "i", "owner walk exhausted and restarted"),
+    "rehome": ("storage", "i", "an array's home moved (task reroute)"),
+    "request_rejected": ("storage", "i", "read/write request refused"),
+    # -- local scheduler ----------------------------------------------------
+    "prefetch": ("sched", "i", "prefetch request issued"),
+    "prefetch_dropped": ("sched", "i", "storage dropped a prefetch"),
+    "stall_tick": ("sched", "i", "idle liveness tick on a node"),
+    # -- I/O filters --------------------------------------------------------
+    "read": ("io", "X", "raw disk read inside an I/O filter"),
+    "write": ("io", "X", "raw disk write inside an I/O filter"),
+    "unlink": ("io", "X", "scratch file removal inside an I/O filter"),
+    "io_retry": ("io", "i", "I/O attempt failed; backing off to retry"),
+    "io_error": ("io", "i", "I/O retries exhausted; error reply sent"),
+    # -- fault injection (names are dynamic: one per FaultPlan kind) --------
+    "io_transient": ("fault", "i", "injected transient I/O error"),
+    "io_permanent": ("fault", "i", "injected permanent I/O error"),
+    "peer_drop": ("fault", "i", "injected dropped peer message"),
+    "peer_delay": ("fault", "i", "injected delayed peer message"),
+    "task_crash": ("fault", "i", "injected worker task crash"),
+    # -- run-level ----------------------------------------------------------
+    "phase": ("run", "i", "run-level milestone (start/end, sim phases)"),
+}
+
+#: the bare name set (what the lint rule checks membership against)
+EVENT_NAMES: frozenset[str] = frozenset(EVENTS)
+
+
+def is_known_event(name: str) -> bool:
+    """Is ``name`` part of the stable trace vocabulary?"""
+    return name in EVENT_NAMES

@@ -17,7 +17,7 @@ from __future__ import annotations
 import sys
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.obs.tracer import Tracer
 
@@ -109,8 +109,8 @@ class StallWatchdog:
     """
 
     def __init__(self, tracer: Tracer, *, quiet_s: float = 10.0,
-                 on_stall: Optional[Callable[[Diagnosis], None]] = None,
-                 poll_s: Optional[float] = None,
+                 on_stall: Callable[[Diagnosis], None] | None = None,
+                 poll_s: float | None = None,
                  log: bool = True):
         if quiet_s <= 0:
             raise ValueError("quiet_s must be positive")
@@ -119,11 +119,11 @@ class StallWatchdog:
         self.poll_s = poll_s if poll_s is not None else max(quiet_s / 4.0, 0.01)
         self.on_stall = on_stall
         self.log = log
-        self.last_diagnosis: Optional[Diagnosis] = None
+        self.last_diagnosis: Diagnosis | None = None
         self._stores: dict[int, object] = {}
         self._schedulers: dict[int, Callable[[], dict]] = {}
         self._stop = threading.Event()
-        self._thread: Optional[threading.Thread] = None
+        self._thread: threading.Thread | None = None
 
     # -- registration ---------------------------------------------------------
 
@@ -193,7 +193,7 @@ class StallWatchdog:
                 except Exception:  # noqa: BLE001 - callback must not kill us
                     pass
 
-    def __enter__(self) -> "StallWatchdog":
+    def __enter__(self) -> StallWatchdog:
         self.start()
         return self
 

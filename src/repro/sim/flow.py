@@ -22,7 +22,8 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Dict
 
 from repro.sim.kernel import Environment, Event, SimulationError
 
@@ -64,10 +65,10 @@ class FlowNetwork:
     def __init__(self, env: Environment, *, rate_floor: float = 1e-6,
                  time_epsilon: float = 1e-9):
         self.env = env
-        self._flows: Dict[int, Flow] = {}
+        self._flows: dict[int, Flow] = {}
         self._ids = itertools.count(1)
         self._last_update = env.now
-        self._wakeup: Optional[Event] = None
+        self._wakeup: Event | None = None
         self._wakeup_time = math.inf
         self._rate_floor = rate_floor
         self._time_epsilon = time_epsilon
@@ -173,8 +174,8 @@ class FlowNetwork:
             flow.rate = 0.0
         if not flows:
             return
-        residual: Dict[Link, float] = {}
-        counts: Dict[Link, int] = {}
+        residual: dict[Link, float] = {}
+        counts: dict[Link, int] = {}
         for flow in flows:
             for link in flow.links:
                 residual.setdefault(link, link.capacity)
@@ -184,7 +185,7 @@ class FlowNetwork:
         while unfrozen:
             # Bottleneck link: smallest equal share among links with unfrozen flows.
             best_share = math.inf
-            best_link: Optional[Link] = None
+            best_link: Link | None = None
             for link, count in counts.items():
                 if count <= 0:
                     continue

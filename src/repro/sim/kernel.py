@@ -10,7 +10,8 @@ tie-heavy schedules from synchronized I/O completions).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
 
 __all__ = [
     "SimulationError",
@@ -52,9 +53,9 @@ class Event:
 
     __slots__ = ("env", "callbacks", "_value", "_state", "_ok", "_defused")
 
-    def __init__(self, env: "Environment"):
+    def __init__(self, env: Environment):
         self.env = env
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self.callbacks: list[Callable[["Event"], None]] | None = []
         self._value: Any = None
         self._state = _PENDING
         self._ok = True
@@ -79,7 +80,7 @@ class Event:
             raise SimulationError("event value read before trigger")
         return self._value
 
-    def succeed(self, value: Any = None, *, delay: float = 0.0, priority: int = 0) -> "Event":
+    def succeed(self, value: Any = None, *, delay: float = 0.0, priority: int = 0) -> Event:
         """Trigger successfully, scheduling callbacks after ``delay``."""
         if self._state != _PENDING:
             raise SimulationError("event already triggered")
@@ -89,7 +90,7 @@ class Event:
         self.env._schedule(self, delay=delay, priority=priority)
         return self
 
-    def fail(self, exception: BaseException, *, delay: float = 0.0) -> "Event":
+    def fail(self, exception: BaseException, *, delay: float = 0.0) -> Event:
         """Trigger as failed; waiting processes receive ``exception``."""
         if self._state != _PENDING:
             raise SimulationError("event already triggered")
@@ -119,7 +120,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None):
+    def __init__(self, env: Environment, delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(env)
@@ -140,12 +141,12 @@ class Process(Event):
 
     __slots__ = ("_generator", "_target", "name")
 
-    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+    def __init__(self, env: Environment, generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
             raise TypeError(f"Process needs a generator, got {type(generator).__name__}")
         super().__init__(env)
         self._generator = generator
-        self._target: Optional[Event] = None
+        self._target: Event | None = None
         self.name = name or getattr(generator, "__name__", "process")
         init = Event(env)
         init.succeed()
@@ -220,7 +221,7 @@ class Condition(Event):
 
     __slots__ = ("events", "_pending_count")
 
-    def __init__(self, env: "Environment", events: Iterable[Event]):
+    def __init__(self, env: Environment, events: Iterable[Event]):
         super().__init__(env)
         self.events = list(events)
         for ev in self.events:
@@ -278,7 +279,7 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
-        self._active_process: Optional[Process] = None
+        self._active_process: Process | None = None
 
     @property
     def now(self) -> float:
@@ -286,7 +287,7 @@ class Environment:
         return self._now
 
     @property
-    def active_process(self) -> Optional[Process]:
+    def active_process(self) -> Process | None:
         return self._active_process
 
     def _schedule(self, event: Event, *, delay: float = 0.0, priority: int = 0) -> None:
@@ -323,7 +324,7 @@ class Environment:
         """Time of the next scheduled event, or +inf when idle."""
         return self._queue[0][0] if self._queue else float("inf")
 
-    def run(self, until: "float | Event | None" = None) -> Any:
+    def run(self, until: float | Event | None = None) -> Any:
         """Run until the queue drains, a deadline passes, or an event fires.
 
         With an :class:`Event` argument, returns that event's value when it

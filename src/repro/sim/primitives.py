@@ -8,7 +8,8 @@ in arrival order.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Optional
+from collections.abc import Callable
+from typing import Any, Deque
 
 from repro.sim.kernel import Environment, Event, SimulationError
 
@@ -20,7 +21,7 @@ class _Request(Event):
 
     __slots__ = ("resource", "amount")
 
-    def __init__(self, env: Environment, resource: "Resource", amount: int):
+    def __init__(self, env: Environment, resource: Resource, amount: int):
         super().__init__(env)
         self.resource = resource
         self.amount = amount
@@ -30,7 +31,7 @@ class _Request(Event):
 
     # Allow ``with (yield res.request()) ...``-free manual style while still
     # supporting context-manager use inside generators.
-    def __enter__(self) -> "_Request":
+    def __enter__(self) -> _Request:
         return self
 
     def __exit__(self, *exc: object) -> None:
@@ -93,7 +94,7 @@ class Mutex(Resource):
 class Store:
     """An unbounded-or-bounded FIFO mailbox of Python objects."""
 
-    def __init__(self, env: Environment, capacity: Optional[int] = None):
+    def __init__(self, env: Environment, capacity: int | None = None):
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be None or >= 1")
         self.env = env
@@ -189,7 +190,7 @@ class Barrier:
     """A reusable N-party barrier (models the paper's global syncs)."""
 
     def __init__(self, env: Environment, parties: int,
-                 on_release: Optional[Callable[[int], None]] = None):
+                 on_release: Callable[[int], None] | None = None):
         if parties < 1:
             raise ValueError("parties must be >= 1")
         self.env = env

@@ -9,7 +9,7 @@ fractions the way the paper extracts them from application logs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional
+from collections.abc import Iterable, Iterator
 
 
 @dataclass(frozen=True)
@@ -63,7 +63,7 @@ class TraceRecorder:
     def lanes(self) -> list[str]:
         return sorted({iv.lane for iv in self.intervals})
 
-    def select(self, *, lane: Optional[str] = None, kind: Optional[str] = None) -> Iterator[Interval]:
+    def select(self, *, lane: str | None = None, kind: str | None = None) -> Iterator[Interval]:
         for iv in self.intervals:
             if lane is not None and iv.lane != lane:
                 continue
@@ -71,7 +71,7 @@ class TraceRecorder:
                 continue
             yield iv
 
-    def busy_time(self, *, lane: Optional[str] = None, kind: Optional[str] = None) -> float:
+    def busy_time(self, *, lane: str | None = None, kind: str | None = None) -> float:
         """Total length of the union of the matching intervals.
 
         Overlapping intervals are merged first, so concurrent I/O streams on
@@ -80,7 +80,7 @@ class TraceRecorder:
         """
         spans = sorted((iv.start, iv.end) for iv in self.select(lane=lane, kind=kind))
         total = 0.0
-        cur_start: Optional[float] = None
+        cur_start: float | None = None
         cur_end = 0.0
         for start, end in spans:
             if cur_start is None:
@@ -98,7 +98,7 @@ class TraceRecorder:
         """End of the last interval (0.0 when empty)."""
         return max((iv.end for iv in self.intervals), default=0.0)
 
-    def count(self, *, lane: Optional[str] = None, kind: Optional[str] = None) -> int:
+    def count(self, *, lane: str | None = None, kind: str | None = None) -> int:
         return sum(1 for _ in self.select(lane=lane, kind=kind))
 
 
@@ -106,7 +106,7 @@ def render_gantt(
     intervals: Iterable[Interval],
     *,
     width: int = 100,
-    kind_glyphs: Optional[dict[str, str]] = None,
+    kind_glyphs: dict[str, str] | None = None,
 ) -> str:
     """ASCII Gantt chart, one row per lane — the textual Fig. 5.
 

@@ -8,7 +8,8 @@ core.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Protocol
+from collections.abc import Callable
+from typing import Protocol
 
 import numpy as np
 
@@ -32,10 +33,10 @@ def conjugate_gradient_solve(
     operator: _Operator,
     b: np.ndarray,
     *,
-    x0: Optional[np.ndarray] = None,
+    x0: np.ndarray | None = None,
     tol: float = 1e-10,
-    max_iterations: Optional[int] = None,
-    callback: Optional[Callable[[int, float], None]] = None,
+    max_iterations: int | None = None,
+    callback: Callable[[int, float], None] | None = None,
 ) -> CGResult:
     """Solve A x = b (A symmetric positive definite) by CG."""
     n = operator.n

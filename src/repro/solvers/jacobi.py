@@ -8,7 +8,8 @@ updates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Protocol
+from collections.abc import Callable
+from typing import Protocol
 
 import numpy as np
 
@@ -33,10 +34,10 @@ def jacobi_solve(
     operator: _Operator,
     b: np.ndarray,
     *,
-    x0: Optional[np.ndarray] = None,
+    x0: np.ndarray | None = None,
     tol: float = 1e-8,
     max_iterations: int = 200,
-    callback: Optional[Callable[[int, float], None]] = None,
+    callback: Callable[[int, float], None] | None = None,
 ) -> JacobiResult:
     """Solve A x = b by Jacobi sweeps with out-of-core SpMVs."""
     n = operator.n

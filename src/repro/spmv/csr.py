@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp
@@ -79,7 +78,7 @@ class CSRBlock:
         )
 
     @classmethod
-    def from_scipy(cls, m) -> "CSRBlock":
+    def from_scipy(cls, m) -> CSRBlock:
         csr = sp.csr_matrix(m)
         csr.sort_indices()
         return cls(
@@ -95,7 +94,7 @@ class CSRBlock:
 
     # -- kernels -----------------------------------------------------------------
 
-    def matvec(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """y = A @ x using SciPy's compiled kernel."""
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.ncols,):
@@ -120,7 +119,7 @@ class CSRBlock:
         return y
 
     @classmethod
-    def empty(cls, nrows: int, ncols: int) -> "CSRBlock":
+    def empty(cls, nrows: int, ncols: int) -> CSRBlock:
         return cls(
             nrows=nrows,
             ncols=ncols,

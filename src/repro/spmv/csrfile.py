@@ -78,19 +78,19 @@ def deserialize_csr(raw) -> CSRBlock:
                     indptr=indptr, indices=indices, values=values)
 
 
-def write_csr_file(path: "str | Path", block: CSRBlock) -> int:
+def write_csr_file(path: str | Path, block: CSRBlock) -> int:
     """Write a sub-matrix file; returns bytes written."""
     data = serialize_csr(block)
     Path(path).write_bytes(data)
     return len(data)
 
 
-def read_csr_file(path: "str | Path") -> CSRBlock:
+def read_csr_file(path: str | Path) -> CSRBlock:
     """Read a sub-matrix file."""
     return deserialize_csr(Path(path).read_bytes())
 
 
-def peek_csr_header(path: "str | Path") -> tuple[int, int, int]:
+def peek_csr_header(path: str | Path) -> tuple[int, int, int]:
     """(nrows, ncols, nnz) without reading the payload."""
     with open(path, "rb") as fh:
         head = fh.read(_HEADER.size)

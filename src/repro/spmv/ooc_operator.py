@@ -11,7 +11,8 @@ SpMVs through this one operator — "developing more linear algebra kernels
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from collections.abc import Callable
+from typing import Dict
 
 import numpy as np
 
@@ -29,14 +30,14 @@ class OutOfCoreMatrix:
 
     def __init__(
         self,
-        blocks: Dict[tuple[int, int], CSRBlock],
+        blocks: dict[tuple[int, int], CSRBlock],
         *,
         n_nodes: int = 1,
         workers_per_node: int = 2,
         memory_budget_per_node: int = 256 * 2**20,
-        scratch_dir: "Optional[str | Path]" = None,
+        scratch_dir: str | Path | None = None,
         policy: str = "interleaved",
-        owner: Optional[Callable[[int, int], int]] = None,
+        owner: Callable[[int, int], int] | None = None,
         rng_seed: int = 0,
         gc_arrays: bool = True,
     ):

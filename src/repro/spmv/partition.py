@@ -9,7 +9,8 @@ vectors.  Each sub-matrix is labeled by its coordinates on the grid."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator
+from collections.abc import Callable, Iterator
+from typing import Dict
 
 import numpy as np
 
@@ -58,28 +59,28 @@ class GridPartition:
 
     # -- matrix splitting --------------------------------------------------------
 
-    def split_matrix(self, matrix: CSRBlock) -> Dict[tuple[int, int], CSRBlock]:
+    def split_matrix(self, matrix: CSRBlock) -> dict[tuple[int, int], CSRBlock]:
         """Cut a global matrix into its K x K sub-matrices."""
         if matrix.shape != (self.n, self.n):
             raise ValueError(
                 f"matrix shape {matrix.shape} != partition size {(self.n, self.n)}"
             )
         m = matrix.to_scipy()
-        out: Dict[tuple[int, int], CSRBlock] = {}
+        out: dict[tuple[int, int], CSRBlock] = {}
         b = self.bounds
         for u, v in self.coords():
             sub = m[b[u]:b[u + 1], b[v]:b[v + 1]]
             out[(u, v)] = CSRBlock.from_scipy(sub)
         return out
 
-    def split_vector(self, x: np.ndarray) -> Dict[int, np.ndarray]:
+    def split_vector(self, x: np.ndarray) -> dict[int, np.ndarray]:
         if x.shape != (self.n,):
             raise ValueError(f"vector shape {x.shape} != ({self.n},)")
         b = self.bounds
         return {u: np.asarray(x[b[u]:b[u + 1]], dtype=np.float64)
                 for u in range(self.k)}
 
-    def join_vector(self, parts: Dict[int, np.ndarray]) -> np.ndarray:
+    def join_vector(self, parts: dict[int, np.ndarray]) -> np.ndarray:
         return np.concatenate([parts[u] for u in range(self.k)])
 
     # -- direct generation ----------------------------------------------------------
@@ -88,7 +89,7 @@ class GridPartition:
         self,
         d: float,
         rng_for: Callable[[int, int], np.random.Generator],
-    ) -> Dict[tuple[int, int], CSRBlock]:
+    ) -> dict[tuple[int, int], CSRBlock]:
         """Generate the grid directly sub-matrix by sub-matrix.
 
         This is how the testbed builds matrices too large to ever form
@@ -96,7 +97,7 @@ class GridPartition:
         block generated for a compute node" — here each (u, v) gets its own
         seeded stream via ``rng_for`` so blocks differ but are reproducible.
         """
-        out: Dict[tuple[int, int], CSRBlock] = {}
+        out: dict[tuple[int, int], CSRBlock] = {}
         for u, v in self.coords():
             out[(u, v)] = gap_uniform_csr(
                 self.part_length(u), self.part_length(v), d, rng_for(u, v)

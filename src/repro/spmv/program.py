@@ -22,7 +22,8 @@ exactly as DataCutter prescribes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from collections.abc import Callable
+from typing import Dict
 
 import numpy as np
 
@@ -86,14 +87,14 @@ class IteratedSpMVResult:
 
 
 def build_iterated_spmv(
-    blocks: Dict[tuple[int, int], CSRBlock],
-    x0_parts: Dict[int, np.ndarray],
+    blocks: dict[tuple[int, int], CSRBlock],
+    x0_parts: dict[int, np.ndarray],
     iterations: int,
     *,
     n_nodes: int = 1,
     policy: str = "simple",
-    owner: Optional[Callable[[int, int], int]] = None,
-    vector_block_elems: Optional[int] = None,
+    owner: Callable[[int, int], int] | None = None,
+    vector_block_elems: int | None = None,
 ) -> IteratedSpMVResult:
     """Assemble the DOoC program for T iterations of y = A x.
 

@@ -21,7 +21,7 @@ def iterated_spmv_reference(matrix: CSRBlock, x0: np.ndarray,
 
 
 def iterated_spmv_blocked_reference(
-    blocks: Dict[tuple[int, int], CSRBlock],
+    blocks: dict[tuple[int, int], CSRBlock],
     partition: GridPartition,
     x0: np.ndarray,
     iterations: int,

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
@@ -133,14 +133,14 @@ def run_testbed_spmv(
     policy: str = "simple",
     *,
     workload: TestbedWorkload = TestbedWorkload(),
-    spec: Optional[ClusterSpec] = None,
+    spec: ClusterSpec | None = None,
     params: TestbedParams = TestbedParams(),
     seed: int = 0,
     oversubscribe: int = 1,
-    trace_sink: Optional[list] = None,
+    trace_sink: list | None = None,
     tracer=None,
-    faults: Optional[FaultPlan] = None,
-    io_retry: Optional[RetryPolicy] = None,
+    faults: FaultPlan | None = None,
+    io_retry: RetryPolicy | None = None,
 ) -> TestbedRow:
     """Simulate one testbed run and return its table row.
 
@@ -211,7 +211,7 @@ def run_testbed_spmv(
         return [r * side + row_i for r in range(side)]
 
     # (iteration, owner) -> arrivals of reduction inputs
-    reduce_counters: Dict[tuple[int, int], _Counter] = {}
+    reduce_counters: dict[tuple[int, int], _Counter] = {}
     inputs_per_owner = {
         # every raw intermediate from the other nodes of the row
         "simple": subs_per_node * (side - 1),

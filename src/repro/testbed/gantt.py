@@ -8,7 +8,6 @@ and receives, per compute node.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.sim.trace import render_gantt
 from repro.testbed.app import TestbedParams, run_testbed_spmv
@@ -21,9 +20,9 @@ def simulated_gantt(
     policy: str,
     *,
     seed: int = 1,
-    until_s: Optional[float] = None,
+    until_s: float | None = None,
     width: int = 96,
-    params: Optional[TestbedParams] = None,
+    params: TestbedParams | None = None,
     **run_kwargs,
 ) -> str:
     """Run a testbed simulation and render its activity timeline.

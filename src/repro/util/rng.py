@@ -48,7 +48,7 @@ class RngTree:
         """Generator for a labelled sub-stream."""
         return spawn(self.root_seed, *path)
 
-    def subtree(self, *path: object) -> "RngTree":
+    def subtree(self, *path: object) -> RngTree:
         """A new tree rooted at a child label (for handing to a component)."""
         return RngTree(_digest_seed(self.root_seed, *path) & (2**63 - 1))
 

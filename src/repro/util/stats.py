@@ -33,7 +33,7 @@ class OnlineStats:
         if x > self.max:
             self.max = x
 
-    def merge(self, other: "OnlineStats") -> None:
+    def merge(self, other: OnlineStats) -> None:
         """Fold another accumulator in (parallel Welford merge)."""
         if other.n == 0:
             return

@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+import os
+
+import pytest
+
+
+@pytest.fixture
+def protocol_checkers(monkeypatch):
+    """Force the runtime protocol checkers on for one test.
+
+    Engines and runtimes constructed inside the test behave as under
+    ``DOOC_CHECKERS=1``: lock acquisitions are recorded, every ticket
+    grant is audited, and task sets are validated before threads start.
+    """
+    monkeypatch.setenv("DOOC_CHECKERS", "1")
+    return True
+
+
+def pytest_report_header(config):
+    flag = os.environ.get("DOOC_CHECKERS", "")
+    return f"DOOC_CHECKERS={flag or '0'} (runtime protocol checkers)"

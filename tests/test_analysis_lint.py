@@ -1,0 +1,291 @@
+"""Lint half of repro.analysis: rules, suppressions, CLI, clean tree.
+
+Each seeded snippet carries exactly the defect its rule code describes;
+tests assert the exact (code, line, col) so rule drift is caught, plus a
+smoke test that the shipped tree itself lints clean (the CI gate).
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.analysis.lint import (
+    DEFAULT_PATH_RELAXATIONS,
+    RULES,
+    Violation,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def codes(violations):
+    return [(v.code, v.line, v.col) for v in violations]
+
+
+# -- DOOC001: ticket leaks ---------------------------------------------------
+
+
+def test_dooc001_unguarded_request_flags():
+    src = (
+        "def leaky(store, iv):\n"
+        "    ticket, effects = store.request_read(iv)\n"
+        "    return effects\n"
+    )
+    assert codes(lint_source(src)) == [("DOOC001", 2, 4)]
+
+
+def test_dooc001_try_with_releasing_finally_is_clean():
+    src = (
+        "def fine(store, iv, run):\n"
+        "    held = []\n"
+        "    try:\n"
+        "        ticket, effects = store.request_read(iv)\n"
+        "        held.append(ticket)\n"
+        "    finally:\n"
+        "        for t in held:\n"
+        "            run(store.release(t))\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_dooc001_tag_handoff_is_clean():
+    # Event-driven sites hand the ticket to the reply path via .tag — the
+    # storage filter owns the release from then on.
+    src = (
+        "def handoff(store, iv, msg):\n"
+        "    ticket, effects = store.request_write(iv)\n"
+        "    ticket.tag = msg\n"
+        "    return effects\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_dooc001_write_requests_are_covered_too():
+    src = (
+        "def leaky(store, iv):\n"
+        "    ticket, effects = store.request_write(iv)\n"
+        "    return effects\n"
+    )
+    assert codes(lint_source(src)) == [("DOOC001", 2, 4)]
+
+
+# -- DOOC002: dropped Effect lists -------------------------------------------
+
+
+def test_dooc002_dropped_release_effects_flag():
+    src = (
+        "def driver(store, ticket):\n"
+        "    store.release(ticket)\n"
+    )
+    assert codes(lint_source(src)) == [("DOOC002", 2, 4)]
+
+
+def test_dooc002_consumed_effects_are_clean():
+    src = (
+        "def driver(store, ticket):\n"
+        "    effects = store.release(ticket)\n"
+        "    return effects\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_dooc002_simpy_style_release_not_flagged():
+    # DES-testbed Resource.release() returns None; only store-like
+    # receivers carry the effect-list contract.
+    src = (
+        "def done(self, req):\n"
+        "    self.resource.release(req)\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_dooc002_dropped_prefetch_flags():
+    src = (
+        "def warm(store, iv):\n"
+        "    store.prefetch(iv)\n"
+    )
+    assert codes(lint_source(src)) == [("DOOC002", 2, 4)]
+
+
+# -- DOOC003: blocking calls under a lock ------------------------------------
+
+
+def test_dooc003_sleep_under_lock_flags():
+    src = (
+        "import time\n"
+        "def poll(self):\n"
+        "    with self._lock:\n"
+        "        time.sleep(0.1)\n"
+    )
+    assert codes(lint_source(src)) == [("DOOC003", 4, 8)]
+
+
+def test_dooc003_untimed_wait_under_lock_flags():
+    src = (
+        "def park(self):\n"
+        "    with self.cond:\n"
+        "        self.cond.wait()\n"
+    )
+    assert codes(lint_source(src)) == [("DOOC003", 3, 8)]
+
+
+def test_dooc003_timed_wait_is_clean():
+    src = (
+        "def park(self):\n"
+        "    with self.cond:\n"
+        "        self.cond.wait(0.05)\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_dooc003_sleep_outside_lock_is_clean():
+    src = (
+        "import time\n"
+        "def backoff(self):\n"
+        "    time.sleep(0.1)\n"
+    )
+    assert lint_source(src) == []
+
+
+# -- DOOC004: trace-event vocabulary -----------------------------------------
+
+
+def test_dooc004_unknown_event_name_flags():
+    src = (
+        "def note(tracer):\n"
+        '    tracer.instant(0, "lane", "cat", "totally_unknown_event")\n'
+    )
+    assert codes(lint_source(src)) == [("DOOC004", 2, 37)]
+
+
+def test_dooc004_vocabulary_event_is_clean():
+    src = (
+        "def note(tracer):\n"
+        '    tracer.instant(0, "lane", "cat", "spill")\n'
+    )
+    assert lint_source(src) == []
+
+
+# -- DOOC000 + framework -----------------------------------------------------
+
+
+def test_unparseable_file_reports_dooc000():
+    vs = lint_source("def broken(:\n")
+    assert [v.code for v in vs] == ["DOOC000"]
+
+
+def test_noqa_suppresses_named_code():
+    src = (
+        "def leaky(store, iv):\n"
+        "    ticket, effects = store.request_read(iv)  # dooc: noqa[DOOC001]\n"
+        "    return effects\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_noqa_bare_suppresses_everything_on_the_line():
+    src = (
+        "def driver(store, ticket):\n"
+        "    store.release(ticket)  # dooc: noqa\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_noqa_for_other_code_does_not_suppress():
+    src = (
+        "def driver(store, ticket):\n"
+        "    store.release(ticket)  # dooc: noqa[DOOC001]\n"
+    )
+    assert [v.code for v in lint_source(src)] == ["DOOC002"]
+
+
+def test_select_restricts_rules():
+    src = (
+        "def leaky(store, iv):\n"
+        "    ticket, effects = store.request_read(iv)\n"
+        "    store.prefetch(iv)\n"
+    )
+    assert [v.code for v in lint_source(src, select=["DOOC002"])] == ["DOOC002"]
+
+
+def test_unknown_code_rejected():
+    with pytest.raises(ValueError, match="DOOC999"):
+        lint_source("x = 1\n", select=["DOOC999"])
+
+
+def test_registry_has_the_documented_rules():
+    assert set(RULES) == {"DOOC001", "DOOC002", "DOOC003", "DOOC004"}
+
+
+def test_violation_render_and_json_roundtrip():
+    v = Violation("DOOC001", "a.py", 3, 4, "leaked ticket")
+    assert v.render() == "a.py:3:4: DOOC001 leaked ticket"
+    assert v.to_json()["code"] == "DOOC001"
+
+
+def test_path_relaxations_apply_to_tests_dir(tmp_path):
+    leaky = (
+        "def leaky(store, iv):\n"
+        "    ticket, effects = store.request_read(iv)\n"
+    )
+    test_file = tmp_path / "tests" / "test_x.py"
+    test_file.parent.mkdir()
+    test_file.write_text(leaky)
+    assert lint_file(test_file) == []          # DOOC001 relaxed under tests/
+    assert codes(lint_file(test_file, strict=True)) == [("DOOC001", 2, 4)]
+    assert "DOOC001" in DEFAULT_PATH_RELAXATIONS["tests"]
+
+
+# -- the shipped tree is the ultimate fixture --------------------------------
+
+
+def test_shipped_src_tree_is_clean():
+    assert lint_paths([REPO / "src"]) == []
+
+
+def test_shipped_tests_and_benchmarks_are_clean():
+    assert lint_paths([REPO / "tests", REPO / "benchmarks",
+                       REPO / "examples"]) == []
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_exit_zero_on_clean_tree():
+    assert lint_main([str(REPO / "src" / "repro" / "analysis")]) == 0
+
+
+def test_cli_flags_seeded_file_with_json(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def leaky(store, iv):\n"
+        "    ticket, effects = store.request_read(iv)\n"
+    )
+    rc = lint_main(["--json", str(bad)])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [v["code"] for v in payload] == ["DOOC001"]
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("DOOC001", "DOOC002", "DOOC003", "DOOC004"):
+        assert code in out
+
+
+def test_module_entry_point_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint",
+         str(REPO / "src" / "repro" / "analysis")],
+        capture_output=True, text=True,
+        cwd=REPO, env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr

@@ -92,7 +92,7 @@ class TestBlockIO:
         the other's block.  ``os.open(O_CREAT | O_RDWR)`` never truncates."""
         d = desc(length=80, block=40)
         want0, want1 = np.full(40, 1.0), np.full(40, 2.0)
-        for round_no in range(50):
+        for _round_no in range(50):
             delete_array_file(tmp_path, d.name)
             barrier = threading.Barrier(2)
             errors = []
@@ -139,7 +139,7 @@ class TestNameMangling:
         names = ["a/b", "a%2Fb", "a%252Fb", "a\\b", "a%5Cb", "%", "%25"]
         escaped = [escape_name(n) for n in names]
         assert len(set(escaped)) == len(names)
-        for n, s in zip(names, escaped):
+        for n, s in zip(names, escaped, strict=True):
             assert unescape_name(s) == n
 
 

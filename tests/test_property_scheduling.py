@@ -36,7 +36,7 @@ def test_intervals_cover_range_exactly_and_disjointly(case):
     ivs = intervals_for_range(desc, lo, hi)
     # Coverage: concatenation of [lo_i, hi_i) equals [lo, hi) in order.
     assert ivs[0].lo == lo and ivs[-1].hi == hi
-    for a, b in zip(ivs, ivs[1:]):
+    for a, b in zip(ivs, ivs[1:], strict=False):
         assert a.hi == b.lo          # contiguous, disjoint
         assert b.block == a.block + 1
     for iv in ivs:

@@ -159,7 +159,7 @@ def test_rates_never_exceed_any_link_capacity(problem):
     caps, flows = problem
     rates = fair_rates(caps, flows)
     for li, cap in enumerate(caps):
-        used = sum(r for r, f in zip(rates, flows) if li in f)
+        used = sum(r for r, f in zip(rates, flows, strict=True) if li in f)
         assert used <= cap * (1 + 1e-9)
 
 
@@ -179,10 +179,10 @@ def test_allocation_is_maximal(problem):
     caps, flows = problem
     rates = fair_rates(caps, flows)
     usage = [0.0] * len(caps)
-    for r, f in zip(rates, flows):
+    for r, f in zip(rates, flows, strict=True):
         for li in f:
             usage[li] += r
-    for r, f in zip(rates, flows):
+    for _r, f in zip(rates, flows, strict=True):
         assert any(usage[li] >= caps[li] * (1 - 1e-6) for li in f)
 
 
@@ -193,7 +193,7 @@ def test_single_link_flows_get_equal_shares(problem):
     rates = fair_rates(caps, flows)
     # Flows with identical link sets must receive identical rates.
     seen: dict[tuple, float] = {}
-    for r, f in zip(rates, flows):
+    for r, f in zip(rates, flows, strict=True):
         key = tuple(sorted(f))
         if key in seen:
             assert math.isclose(seen[key], r, rel_tol=1e-9, abs_tol=1e-12)
