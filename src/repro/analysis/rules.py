@@ -18,6 +18,11 @@ DOOC003   blocking call under a lock: ``time.sleep``, ``open``/``os.open``,
 DOOC004   unknown trace event: a string literal passed as the event name to
           ``Tracer.instant/complete/counter/span`` that is not part of the
           central vocabulary (:mod:`repro.obs.vocab`).
+DOOC005   non-atomic durable write: a bare ``open(..., "w"/"wb")``,
+          ``.write_bytes()`` or ``.write_text()`` on a ``.blk``/``.ckpt``
+          path.  Checkpoint payloads and manifests are recovery inputs —
+          a torn write silently poisons restart, so they must go through
+          ``repro.util.atomicio.atomic_write`` (temp + fsync + rename).
 ========  ==================================================================
 
 The rules are deliberately lexical (single-function, no dataflow): they
@@ -373,3 +378,95 @@ def check_trace_vocabulary(tree: ast.Module,
                 "vocabulary; add it to repro.obs.vocab.EVENTS or use a "
                 "registered name",
             )
+
+
+# -- DOOC005: non-atomic durable writes --------------------------------------
+
+#: filename fragments marking recovery-critical artifacts
+_DURABLE_FRAGMENTS = (".blk", ".ckpt")
+
+#: write modes of ``open`` that replace or extend a durable file
+_WRITE_MODES = frozenset("wax")
+
+
+def _mentions_durable(node: ast.AST) -> bool:
+    return any(
+        isinstance(n, ast.Constant) and isinstance(n.value, str)
+        and any(f in n.value for f in _DURABLE_FRAGMENTS)
+        for n in ast.walk(node)
+    )
+
+
+def _open_write_mode(call: ast.Call) -> bool:
+    """Is this ``open(...)`` (or ``os.open``/``io.open``) opened to write?"""
+    if _call_name(call) != "open":
+        return False
+    receiver = _receiver_name(call)
+    if receiver not in (None, "os", "io"):
+        return False
+    mode: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if not (isinstance(mode, ast.Constant) and isinstance(mode.value, str)):
+        return False  # default mode is "r"; dynamic modes pass
+    return any(c in _WRITE_MODES for c in mode.value)
+
+
+@register(
+    "DOOC005",
+    "non-atomic-durable-write",
+    "checkpoint/manifest/block (.blk/.ckpt) files must be written via "
+    "repro.util.atomicio.atomic_write, not bare open()/write_bytes()",
+)
+def check_atomic_durable_writes(tree: ast.Module,
+                                path: str) -> Iterator[Violation]:
+    # The one legitimate bare writer is atomic_write itself (it writes the
+    # temp file it later renames); its definition is exempt wholesale.
+    exempt: set[int] = set()
+    for node in ast.walk(tree):
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == "atomic_write"):
+            exempt.update(id(n) for n in ast.walk(node))
+
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+
+    def durable_context(call: ast.Call) -> bool:
+        """The call itself, or its statement's header, names a durable
+        artifact.  Compound statements only contribute their headers (a
+        ``with`` body mentioning ``.blk`` must not taint an unrelated
+        ``open`` in the ``with`` line)."""
+        if _mentions_durable(call):
+            return True
+        node: ast.AST = call
+        while node in parents and not isinstance(node, ast.stmt):
+            node = parents[node]
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign,
+                             ast.Expr, ast.Return)):
+            return _mentions_durable(node)
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            return any(_mentions_durable(item) for item in node.items)
+        return False
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or id(node) in exempt:
+            continue
+        writer: str | None = None
+        if _open_write_mode(node):
+            writer = "open"
+        elif (isinstance(node.func, ast.Attribute)
+              and node.func.attr in ("write_bytes", "write_text")):
+            writer = node.func.attr
+        if writer is None or not durable_context(node):
+            continue
+        yield Violation(
+            "DOOC005", path, node.lineno, node.col_offset,
+            f"{writer}() writes a durable .blk/.ckpt artifact in place; a "
+            "crash mid-write poisons recovery — use "
+            "repro.util.atomicio.atomic_write (temp + fsync + rename)",
+        )

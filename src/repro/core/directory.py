@@ -51,6 +51,7 @@ class DirectoryClient:
         self.rng = rng
         self._walks: dict[tuple[str, int], _Walk] = {}
         self.resolved: dict[tuple[str, int], int] = {}  # cache: key -> owner
+        self.evicted: set[int] = set()  # dead peers: never probed again
         self.total_probes = 0
 
     def start_lookup(self, array: str, block: int) -> int | None:
@@ -74,12 +75,13 @@ class DirectoryClient:
         walk = self._walks.get((array, block))
         if walk is None:
             raise DoocError(f"no lookup in flight for {array}[{block}]")
-        candidates = [n for n in range(self.n_nodes) if n not in walk.visited]
+        candidates = [n for n in range(self.n_nodes)
+                      if n not in walk.visited and n not in self.evicted]
         if not candidates:
             del self._walks[(array, block)]
             raise LookupFailed(
                 f"no node hosts {array}[{block}] (probed all "
-                f"{self.n_nodes - 1} peers)"
+                f"{self.n_nodes - 1 - len(self.evicted)} live peers)"
             )
         peer = int(self.rng.choice(candidates))
         walk.visited.add(peer)
@@ -104,3 +106,21 @@ class DirectoryClient:
         """Forget cached owners of an array (it was deleted)."""
         for key in [k for k in self.resolved if k[0] == array]:
             del self.resolved[key]
+
+    def evict(self, node: int) -> None:
+        """Permanently exclude a dead peer from probing (idempotent).
+
+        Cached resolutions pointing at the corpse are dropped (the array
+        is being re-homed to a survivor), and in-flight walks treat the
+        peer as already visited, so they terminate in at most
+        ``n_live - 1`` probes.
+        """
+        if node == self.node:
+            raise DoocError(f"node {node} cannot evict itself")
+        if not 0 <= node < self.n_nodes:
+            raise DoocError(f"node {node} outside cluster of {self.n_nodes}")
+        self.evicted.add(node)
+        for key in [k for k, owner in self.resolved.items() if owner == node]:
+            del self.resolved[key]
+        for walk in self._walks.values():
+            walk.visited.add(node)

@@ -31,7 +31,7 @@ import time
 import weakref
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, NoReturn
 
 import numpy as np
 
@@ -41,12 +41,13 @@ from repro.core.directory import DirectoryClient, LookupFailed
 from repro.core.errors import (
     DoocError,
     IOFailedError,
+    NodeLostError,
     SchedulingError,
     StallError,
     StorageError,
     TaskFailedError,
 )
-from repro.core.global_scheduler import GlobalScheduler
+from repro.core.global_scheduler import GlobalScheduler, failover_node
 from repro.core.interval import (
     Interval,
     Permission,
@@ -58,7 +59,7 @@ from repro.core.local_scheduler import LocalSchedulerCore
 from repro.core.storage import Effect, LocalStore, StoreStats, Ticket
 from repro.core.task import TaskSpec
 from repro.datacutter.buffers import END_OF_STREAM, DataBuffer
-from repro.datacutter.errors import StreamClosedError
+from repro.datacutter.errors import FilterError, StreamClosedError
 from repro.datacutter.filters import Filter, FilterContext
 from repro.datacutter.layout import DistributionPolicy, Layout
 from repro.datacutter.runtime import ThreadedRuntime
@@ -72,6 +73,14 @@ from repro.obs import (
     export_chrome_trace,
     save_events_jsonl,
 )
+from repro.recovery.lineage import LineageLog, plan_reconstruction
+from repro.recovery.membership import (
+    DEAD,
+    SUSPECT,
+    MembershipConfig,
+    MembershipTracker,
+)
+from repro.util.atomicio import atomic_write
 from repro.util.rng import RngTree
 
 __all__ = ["Program", "DOoCEngine", "RunReport"]
@@ -216,6 +225,13 @@ class _StorageFilter(Filter):
         )
         self._outstanding_io = 0
         self._draining = False
+        self._io_closed = False
+        #: set by the "die" op (injected node loss): the filter keeps its
+        #: threads' streams flowing but does no protocol work — a corpse
+        #: must exit orderly, never crash the shared runtime
+        self._dead = False
+        # array -> (home, on_disk) of recovery rehomes blocked on a pin
+        self._recover_pending: dict[str, tuple[int, bool]] = {}
         # array -> blocks awaiting owner resolution
         self._awaiting_owner: dict[str, list[int]] = {}
         # arrays whose GC delete raced an in-flight pin; retried on release
@@ -240,6 +256,8 @@ class _StorageFilter(Filter):
                 raise  # only tolerable while winding down
 
     def _peer_write(self, ctx: FilterContext, peer: int, payload: dict) -> None:
+        if peer in self.directory.evicted:
+            return  # the peer is a declared corpse; nothing to say to it
         if self.injector is not None and not self._draining:
             fate = self.injector.peer_fault(
                 peer, payload["op"], payload.get("array"),
@@ -275,6 +293,13 @@ class _StorageFilter(Filter):
 
     def _execute(self, ctx: FilterContext, effects: list[Effect]) -> None:
         for e in effects:
+            if e.kind in ("load", "spill") and self._io_closed:
+                # A release that raced the drain (worker and scheduler
+                # streams merge unordered on `req`) pumped out fresh I/O
+                # after the I/O filters were let go.  Nobody is waiting on
+                # it — the DAG is complete — so drop it instead of writing
+                # on the closed command stream.
+                continue
             if e.kind == "load":
                 self._outstanding_io += 1
                 self._io_started[("load", e.array, e.block)] = self.tracer.now()
@@ -486,17 +511,33 @@ class _StorageFilter(Filter):
             self._execute(ctx, effects)
         elif op == "release":
             self._execute(ctx, self.store.release(msg["ticket"]))
-            if self._gc_pending:
-                for name in list(self._gc_pending):
-                    self._try_delete(ctx, name)
+            self._retry_parked(ctx)
         elif op == "abandon":
             # A failed task retracts a granted-but-unpublished write.
             self._execute(ctx, self.store.abandon_write(msg["ticket"]))
-            if self._gc_pending:
-                for name in list(self._gc_pending):
-                    self._try_delete(ctx, name)
+            self._retry_parked(ctx)
         elif op == "rehome":
-            self._handle_rehome(ctx, msg["array"], msg["home"])
+            self._handle_rehome(ctx, msg["array"], msg["home"],
+                                on_disk=msg.get("on_disk", False),
+                                recover=msg.get("recover", False))
+        elif op == "evict":
+            self._handle_evict(ctx, msg["node"])
+        elif op == "die":
+            # Injected permanent node loss.  From here the filter is a
+            # corpse: it stops all protocol work and initiates nothing, but
+            # keeps consuming its streams to end-of-stream so survivors'
+            # writes never wedge and the runtime winds down cleanly.
+            self._dead = True
+            self._draining = True
+            self._awaiting_owner.clear()
+            self._delayed.clear()
+            self._fetch_pending.clear()
+            self._lookup_pending.clear()
+            self._recover_pending.clear()
+            self.store.abandon_pending_allocs()
+            for j in range(self.n_nodes):
+                if j != self.node:
+                    ctx.close(f"peer_out_{j}")
         elif op == "ensure":
             # Reroute prep: the new execution node needs a remote handle
             # for each input array it has never seen.
@@ -534,32 +575,98 @@ class _StorageFilter(Filter):
         else:  # pragma: no cover - defensive
             raise StorageError(f"unknown storage op {op!r}")
 
-    def _handle_rehome(self, ctx: FilterContext, array: str,
-                       home: int) -> None:
-        """A rerouted task's output array moved to a new home node."""
+    def _retry_parked(self, ctx: FilterContext) -> None:
+        """Re-attempt work that raced an in-flight pin (GC, recovery)."""
+        if self._gc_pending:
+            for name in list(self._gc_pending):
+                self._try_delete(ctx, name)
+        if self._recover_pending:
+            for array in list(self._recover_pending):
+                home, on_disk = self._recover_pending.pop(array)
+                self._handle_rehome(ctx, array, home,
+                                    on_disk=on_disk, recover=True)
+
+    def _handle_rehome(self, ctx: FilterContext, array: str, home: int, *,
+                       on_disk: bool = False, recover: bool = False) -> None:
+        """An array's home moved (task reroute, or node-loss recovery).
+
+        Recovery rehomes differ from reroute rehomes in two ways: blocks
+        may be mid-fetch from the dead owner (those waiters are failed so
+        their tasks retry against the new home), and a survivor may hold
+        pinned cached copies (the rehome parks and retries on release —
+        the copies stay byte-valid under write-once, so waiting is safe).
+        """
         self.directory.invalidate(array)
-        self._awaiting_owner.pop(array, None)
+        parked = self._awaiting_owner.pop(array, None) or []
         self._lookup_pending.pop(array, None)
+        inflight = [k[1] for k in self._fetch_pending if k[0] == array]
         for key in [k for k in self._fetch_pending if k[0] == array]:
             del self._fetch_pending[key]
+        if recover:
+            for block in sorted(set(parked) | set(inflight)):
+                self._execute(ctx, self.store.on_fetch_failed(
+                    array, block,
+                    f"owner of {array!r} died; re-homed to node {home}"))
         if home == self.node:
-            effects = self.store.rehome_local(self.descs[array])
+            try:
+                effects = self.store.rehome_local(
+                    self.descs[array], on_disk=on_disk)
+            except StorageError:
+                if not recover:
+                    raise
+                # A cached block is pinned by a running task: park the
+                # rehome and retry when the pin is released.
+                self._recover_pending[array] = (home, on_disk)
+                return
+        elif recover:
+            effects = self.store.recover_remote(self.descs[array])
         else:
             effects = self.store.rehome_remote(array)
         self.tracer.instant(self.node, "storage", "storage", "rehome",
                             array=array, home=home)
+        if recover:
+            self.tracer.instant(self.node, "storage", "recovery",
+                                "reconstruct", array=array, home=home,
+                                seeded=on_disk)
         self._execute(ctx, effects)
+        self._wake_scheduler(ctx)
+
+    def _handle_evict(self, ctx: FilterContext, dead: int) -> None:
+        """Apply a dead-node eviction: stop probing/fetching from it.
+
+        In-flight fetches whose owner just died are restarted through the
+        owner walk (the directory now excludes the corpse); their read
+        waiters stay parked, so no task attempt is burned.  If the lost
+        array is being reconstructed, the follow-up recovery rehome fails
+        these restarted walks over to the new home.
+        """
+        if dead == self.node or dead in self.directory.evicted:
+            return
+        self.directory.evict(dead)
+        self.store.metrics.inc("peer_evictions")
+        self.tracer.instant(self.node, "storage", "recovery", "node_evict",
+                            dead=dead)
+        for key, (_deadline, owner) in list(self._fetch_pending.items()):
+            if owner == dead:
+                array, block = key
+                del self._fetch_pending[key]
+                self._start_fetch(ctx, array, block)
+        for array, (_deadline, peer) in list(self._lookup_pending.items()):
+            if peer == dead:
+                del self._lookup_pending[array]
+                self._probe_next(ctx, array)
+        self._delayed = [d for d in self._delayed if d[1] != dead]
 
     def process(self, ctx: FilterContext) -> None:
         ports = ["req", "io_done", "peer_in"]
-        io_closed = False
         while True:
-            if self._draining and self._outstanding_io == 0 and not io_closed:
+            if self._draining and self._outstanding_io == 0 \
+                    and not self._io_closed:
                 # Closing io_cmd lets the I/O filters exit, which EOSes
                 # io_done; the loop then runs to EOS of all ports, so every
                 # in-flight release/peer message is still processed.
                 ctx.close("io_cmd")
-                io_closed = True
+                self._io_closed = True
             recovery = bool(self._delayed or self._fetch_pending
                             or self._lookup_pending)
             try:
@@ -575,6 +682,13 @@ class _StorageFilter(Filter):
             if buf is END_OF_STREAM:
                 break
             msg = buf.payload
+            if self._dead:
+                # Corpse mode: keep the stream accounting honest (io_done
+                # gates the io_cmd close above) but discard every message —
+                # survivors observe silence, retransmit, and evict us.
+                if port == "io_done":
+                    self._outstanding_io -= 1
+                continue
             if port == "req":
                 self._handle_request(ctx, msg)
             elif port == "peer_in":
@@ -596,14 +710,14 @@ class _StorageFilter(Filter):
                 elif msg["op"] == "io_error":
                     self._on_io_error(ctx, msg)
                 # "unlinked": nothing to do beyond the accounting above
-                if self._gc_pending and not self._draining:
-                    # A finished load/spill may have unpinned a to-be-deleted
-                    # block.
-                    for name in list(self._gc_pending):
-                        self._try_delete(ctx, name)
+                if not self._draining:
+                    # A finished load/spill may have unpinned a block a
+                    # parked delete or recovery rehome is waiting on.
+                    self._retry_parked(ctx)
                 self._wake_scheduler(ctx)
-        if not io_closed:
+        if not self._io_closed:
             ctx.close("io_cmd")
+            self._io_closed = True
 
     def _on_io_error(self, ctx: FilterContext, msg: dict) -> None:
         """An I/O command exhausted its retries: fail the blocked tickets."""
@@ -637,7 +751,9 @@ class _StorageFilter(Filter):
             self._gc_pending.add(name)
             return
         self._gc_pending.discard(name)
-        if was_local:
+        if was_local and not self._io_closed:
+            # Skipped during the post-close drain: a stale scratch file is
+            # harmless (rediscovery is gated on array registration).
             self._outstanding_io += 1
             ctx.write("io_cmd", DataBuffer(
                 {"op": "unlink", "desc": self.descs[name], "block": -1}))
@@ -853,7 +969,9 @@ class _LocalSchedulerFilter(Filter):
                  nbytes: dict[str, int], *, prefetch_depth: int = 2,
                  reorder: bool = True, tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None,
-                 max_attempts: int = 3):
+                 max_attempts: int = 3,
+                 heartbeat_s: float | None = None,
+                 injector: FaultInjector | None = None):
         if max_attempts < 1:
             raise SchedulingError("max_attempts must be >= 1")
         self.core = LocalSchedulerCore(node, prefetch_depth=prefetch_depth,
@@ -864,10 +982,18 @@ class _LocalSchedulerFilter(Filter):
         self.tracer = tracer or Tracer(enabled=False)
         self.metrics = metrics
         self.max_attempts = max_attempts
+        #: liveness beacon period (None = membership tracking off)
+        self.heartbeat_s = heartbeat_s
+        self.injector = injector
+        #: injected permanent death point: die after this many worker
+        #: completions on this node (None = immortal)
+        self._kill_after = injector.kill_step() if injector is not None else None
+        self._next_beat = 0.0
         self._idle: list[int] = []
         self._parents: dict[str, int] = {}  # parent task -> remaining subtasks
         self._attempts: dict[str, int] = {}  # task -> attempts dispatched here
         self._inflight = 0
+        self._completions = 0
         self._stall = 0
 
     def _on_storage_note(self, msg: dict) -> None:
@@ -910,7 +1036,55 @@ class _LocalSchedulerFilter(Filter):
             return self.core.claim(ranked[0].name)
         return None
 
+    @property
+    def _dying(self) -> bool:
+        """Has the injected death point been reached?"""
+        return (self._kill_after is not None
+                and self._completions >= self._kill_after)
+
+    def _maybe_beat(self, ctx: FilterContext) -> None:
+        """Send the periodic liveness beacon to the global scheduler.
+
+        The beacon comes from this scheduler loop, not from task progress,
+        so a node mired in I/O retries or task re-executions still beats —
+        the failure detector only fires on genuine silence.  It is not
+        routed through the tracer: a beat is not runtime progress and must
+        not reset the stall watchdog's quiet clock.
+        """
+        if self.heartbeat_s is None or self._dying:
+            return
+        now = time.monotonic()
+        if now >= self._next_beat:
+            self._next_beat = now + self.heartbeat_s
+            self._inc("heartbeats_sent")
+            ctx.write("to_gsched", DataBuffer(
+                {"op": "heartbeat", "node": self.node}))
+
+    def _die(self, ctx: FilterContext) -> None:
+        """Permanent injected node death: fall silent, then drain.
+
+        The node's threads cannot simply vanish (they share the runtime
+        with the survivors), so death is modeled as the loudest possible
+        silence: workers are shut down, storage enters corpse mode, the
+        control stream to the global scheduler closes, and the filter
+        discards inbound traffic until every stream reaches end-of-stream.
+        """
+        if self.injector is not None:
+            self.injector.record_node_kill(self._completions)
+        for worker in range(self.workers):
+            ctx.write("to_workers", DataBuffer(
+                {"op": "shutdown"}, {"__dest__": worker}))
+        ctx.write("to_storage", DataBuffer({"op": "die"}))
+        ctx.close("to_gsched")
+        ctx.close("to_storage")
+        while True:
+            _port, buf = ctx.read_any(["in", "from_workers", "from_storage"])
+            if buf is END_OF_STREAM:
+                return
+
     def _dispatch(self, ctx: FilterContext) -> None:
+        if self._dying:
+            return  # no new work on a node that is about to die
         while self._idle and self.core.ready_count:
             resident = self._query_map(ctx)
             # Keep upcoming tasks warm regardless of whether we dispatch.
@@ -960,6 +1134,7 @@ class _LocalSchedulerFilter(Filter):
 
     def _on_done(self, ctx: FilterContext, msg: dict) -> None:
         self._inflight -= 1
+        self._completions += 1
         self._attempts.pop(msg["task"], None)
         parent = msg.get("parent")
         if parent is not None:
@@ -1000,22 +1175,32 @@ class _LocalSchedulerFilter(Filter):
              "error": msg["error"]}))
 
     def process(self, ctx: FilterContext) -> None:
+        self._maybe_beat(ctx)
         while True:
+            if self._dying and self._inflight == 0:
+                self._die(ctx)
+                return
+            stall_wait = bool(self._idle and self.core.ready_count
+                              and not self._dying)
+            timeout = self.TICK_S if stall_wait else None
+            if self.heartbeat_s is not None and not self._dying:
+                timeout = (self.heartbeat_s if timeout is None
+                           else min(timeout, self.heartbeat_s))
             try:
                 port, buf = ctx.read_any(
-                    ["in", "from_workers", "from_storage"],
-                    timeout=self.TICK_S if (self._idle and self.core.ready_count)
-                    else None,
-                )
+                    ["in", "from_workers", "from_storage"], timeout=timeout)
             except TimeoutError:
-                # Idle tick: count starvation, re-arm dropped prefetches.
-                self._stall += 1
-                self.tracer.instant(self.node, "sched", "sched", "stall_tick",
-                                    ticks=self._stall)
-                if self._stall >= self.STALL_TICKS:
-                    self.core.reset_prefetch()
-                self._dispatch(ctx)
+                self._maybe_beat(ctx)
+                if stall_wait:
+                    # Idle tick: count starvation, re-arm dropped prefetches.
+                    self._stall += 1
+                    self.tracer.instant(self.node, "sched", "sched",
+                                        "stall_tick", ticks=self._stall)
+                    if self._stall >= self.STALL_TICKS:
+                        self.core.reset_prefetch()
+                    self._dispatch(ctx)
                 continue
+            self._maybe_beat(ctx)
             if buf is END_OF_STREAM:
                 break
             msg = buf.payload
@@ -1026,9 +1211,10 @@ class _LocalSchedulerFilter(Filter):
                     ctx.write("to_storage", DataBuffer(
                         {"op": "delete", "array": msg["array"]}))
                     continue
-                if msg["op"] in ("rehome", "ensure"):
-                    # Reroute bookkeeping from the global scheduler, relayed
-                    # to storage ahead of the re-dispatched task itself.
+                if msg["op"] in ("rehome", "ensure", "evict"):
+                    # Reroute/recovery bookkeeping from the global
+                    # scheduler, relayed to storage ahead of any
+                    # re-dispatched task.
                     ctx.write("to_storage", DataBuffer(msg))
                     continue
                 self.core.add_ready(msg["task"])
@@ -1048,6 +1234,21 @@ class _LocalSchedulerFilter(Filter):
             ctx.write("to_workers", DataBuffer(
                 {"op": "shutdown"}, {"__dest__": worker}))
         ctx.write("to_storage", DataBuffer({"op": "shutdown"}))
+
+
+@dataclass
+class _RecoveryContext:
+    """Everything the global scheduler needs to survive a node loss."""
+
+    descs: dict[str, ArrayDesc]
+    nbytes: dict[str, int]
+    #: (array, dead_node, new_home) -> copy the backing file to the new
+    #: home's scratch (models a re-read from the shared filesystem)
+    reseed: Any
+    metrics: MetricsRegistry
+    lineage: LineageLog | None = None
+    #: False turns detection into a named failure instead of recovery
+    node_recovery: bool = True
 
 
 class _GlobalSchedulerFilter(Filter):
@@ -1072,7 +1273,9 @@ class _GlobalSchedulerFilter(Filter):
                  *, gc_arrays: bool = False,
                  homes: dict[str, int] | None = None,
                  max_reroutes: int | None = None,
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None,
+                 membership: MembershipTracker | None = None,
+                 recovery: "_RecoveryContext | None" = None):
         self.dag = dag
         self.assignment = assignment
         self.n_nodes = n_nodes
@@ -1082,14 +1285,38 @@ class _GlobalSchedulerFilter(Filter):
         self.homes = homes if homes is not None else {}
         self.max_reroutes = max_reroutes
         self.tracer = tracer or Tracer(enabled=False)
+        #: heartbeat-driven failure detector (None = node loss not tracked)
+        self.membership = membership
+        self.recovery = recovery
         self.outputs = tuple(f"out_{i}" for i in range(n_nodes))
         self._consumers_left: dict[str, int] = {}
         self._tried: dict[str, set[int]] = {}  # task -> nodes that failed it
         self._reroutes: dict[str, int] = {}
+        #: arrays GC'd cluster-wide (their producers may need replaying)
+        self._collected: set[str] = set()
+        #: completed tasks re-executing for block reconstruction; their
+        #: "done" reports bypass DAG bookkeeping (already marked complete)
+        self._replaying: set[str] = set()
+        #: reassigned tasks the corpse may have finished with the report
+        #: still in flight: a second "done" for these is expected, not a bug
+        self._dup_ok: set[str] = set()
+        self._last_check = 0.0
+        #: deterministic round-robin cursor for homeless recovery placement
+        self._failover_rr = 0
         if gc_arrays:
             for t in dag.tasks.values():
                 for array in t.outputs:
                     self._consumers_left[array] = len(dag.consumers_of(array))
+
+    def _live_nodes(self) -> list[int]:
+        if self.membership is None:
+            return list(range(self.n_nodes))
+        dead = set(self.membership.dead_nodes())
+        return [n for n in range(self.n_nodes) if n not in dead]
+
+    def _broadcast(self, ctx: FilterContext, payload: dict) -> None:
+        for i in self._live_nodes():
+            ctx.write(f"out_{i}", DataBuffer(dict(payload)))
 
     def _send(self, ctx: FilterContext, task_name: str) -> None:
         node = self.assignment[task_name]
@@ -1104,9 +1331,8 @@ class _GlobalSchedulerFilter(Filter):
             left -= 1
             self._consumers_left[array] = left
             if left == 0:
-                for i in range(self.n_nodes):
-                    ctx.write(f"out_{i}", DataBuffer(
-                        {"op": "gc", "array": array}))
+                self._collected.add(array)
+                self._broadcast(ctx, {"op": "gc", "array": array})
 
     def _reroute(self, ctx: FilterContext, msg: dict) -> None:
         """Move a repeatedly-failing task to a node that has not tried it."""
@@ -1114,7 +1340,8 @@ class _GlobalSchedulerFilter(Filter):
         tried = self._tried.setdefault(name, {self.assignment[name]})
         tried.add(failed_node)
         reroutes = self._reroutes.get(name, 0)
-        candidates = [n for n in range(self.n_nodes) if n not in tried]
+        live = self._live_nodes()
+        candidates = [n for n in live if n not in tried]
         if not candidates or (self.max_reroutes is not None
                               and reroutes >= self.max_reroutes):
             raise TaskFailedError(
@@ -1126,37 +1353,220 @@ class _GlobalSchedulerFilter(Filter):
         self.tracer.instant(new_node, "gsched", "task", "task_reroute",
                             task=name, from_node=failed_node,
                             error=msg["error"])
+        self._move_task(ctx, name, new_node)
+        self._send(ctx, name)
+
+    def _move_task(self, ctx: FilterContext, name: str, new_node: int) -> None:
+        """Re-home a task's outputs to ``new_node`` and prep its inputs.
+
+        Outputs follow the task: every live node updates its registration
+        (local on the new home, remote handles elsewhere) and forgets
+        cached owner entries and block state; inputs are at least remotely
+        registered on the new node.
+        """
         spec = self.dag.tasks[name]
-        # Outputs follow the task: every node updates its registration
-        # (local on the new home, remote handles elsewhere) and forgets
-        # cached owner entries and block state.
         for array in spec.outputs:
             self.homes[array] = new_node
-            for i in range(self.n_nodes):
-                ctx.write(f"out_{i}", DataBuffer(
-                    {"op": "rehome", "array": array, "home": new_node}))
-        # Inputs must be at least remotely registered on the new node.
+            self._broadcast(ctx, {"op": "rehome", "array": array,
+                                  "home": new_node})
         for array in spec.inputs:
             ctx.write(f"out_{new_node}", DataBuffer(
                 {"op": "ensure", "array": array,
                  "home": self.homes.get(array, -1)}))
-        self._send(ctx, name)
+
+    # -- node-loss recovery ---------------------------------------------------
+
+    def _check_membership(self, ctx: FilterContext) -> None:
+        """Escalate silent nodes.  A completion the corpse managed to
+        report may still be queued when death fires; the plan then counts
+        that task as incomplete and reassigns it, and the late duplicate
+        "done" is absorbed via ``_dup_ok``."""
+        if self.membership is None:
+            return
+        now = time.monotonic()
+        for node, state in self.membership.check(now):
+            silent = self.membership.snapshot(now)[node]["silent_s"]
+            if state == SUSPECT:
+                if self.recovery is not None:
+                    self.recovery.metrics.inc("nodes_suspected")
+                self.tracer.instant(node, "gsched", "recovery",
+                                    "node_suspect", silent_s=silent)
+            else:
+                self.tracer.instant(node, "gsched", "recovery", "node_dead",
+                                    silent_s=silent)
+                self._on_node_dead(ctx, node)
+
+    def _heartbeat(self, ctx: FilterContext, node: int) -> None:
+        if self.membership is None:
+            return
+        if self.membership.beat(node, time.monotonic()) is not None:
+            # A quarantined suspect came back before the dead threshold.
+            if self.recovery is not None:
+                self.recovery.metrics.inc("nodes_recovered")
+            self.tracer.instant(node, "gsched", "recovery", "node_alive")
+
+    def _next_survivor(self, survivors: list[int]) -> int:
+        node = survivors[self._failover_rr % len(survivors)]
+        self._failover_rr += 1
+        return node
+
+    def _on_node_dead(self, ctx: FilterContext, dead: int) -> None:
+        """Recover from one node's permanent loss (the tentpole sequence).
+
+        Eviction first (survivors stop probing the corpse), then lost
+        initial arrays re-seed from the filesystem onto survivors, lost
+        derived blocks are reconstructed by re-executing their (completed)
+        producers from lineage, and the corpse's unfinished tasks move to
+        survivors.  Write-once makes all of it safe: replays produce the
+        same bytes, and no survivor cache needs invalidation.
+        """
+        rc = self.recovery
+        plan = plan_reconstruction(
+            self.dag, self.homes, self.assignment, dead,
+            descs=rc.descs if rc is not None else None,
+            collected=self._collected)
+        survivors = self._live_nodes()
+        if rc is not None:
+            rc.metrics.inc("nodes_lost")
+            rc.metrics.inc("blocks_lost", plan.lost_blocks)
+            if rc.lineage is not None:
+                rc.lineage.record(
+                    "node_dead", node=dead, lost_arrays=plan.lost_arrays,
+                    lost_blocks=plan.lost_blocks, reseed=plan.reseed,
+                    replay=plan.replay, reassign=plan.reassign)
+                rc.lineage.sync()
+        if not survivors or rc is None or not rc.node_recovery:
+            raise NodeLostError(
+                f"node {dead} declared dead with {len(plan.lost_arrays)} "
+                f"arrays ({plan.lost_blocks} blocks) homed on it"
+                + ("" if survivors else "; no survivors left to recover on")
+                + ("" if rc is not None and rc.node_recovery
+                   else "; node recovery is disabled"),
+                node=dead, lost_blocks=plan.lost_blocks)
+        self._broadcast(ctx, {"op": "evict", "node": dead})
+        for array in plan.reseed:
+            new_home = self._next_survivor(survivors)
+            rc.reseed(array, dead, new_home)
+            self.homes[array] = new_home
+            self._broadcast(ctx, {"op": "rehome", "array": array,
+                                  "home": new_home, "on_disk": True,
+                                  "recover": True})
+            rc.metrics.inc("arrays_reseeded")
+            if rc.lineage is not None:
+                rc.lineage.record("reseed", array=array, node=new_home)
+        ready_now = set(self.dag.ready_tasks())
+        for name in plan.replay:
+            spec = self.dag.tasks[name]
+            new_node = failover_node(spec.inputs, self.homes, survivors,
+                                     rc.nbytes)
+            self.assignment[name] = new_node
+            for array in spec.outputs:
+                self.homes[array] = new_node
+                self._broadcast(ctx, {"op": "rehome", "array": array,
+                                      "home": new_node, "recover": True})
+            for array in spec.inputs:
+                ctx.write(f"out_{new_node}", DataBuffer(
+                    {"op": "ensure", "array": array,
+                     "home": self.homes.get(array, -1)}))
+            self._replaying.add(name)
+            self.tracer.instant(new_node, "gsched", "recovery",
+                                "lineage_replay", task=name, from_node=dead)
+            rc.metrics.inc("tasks_replayed")
+            if rc.lineage is not None:
+                rc.lineage.record("replay", task=name, node=new_node)
+            self._send(ctx, name)
+        for name in plan.reassign:
+            spec = self.dag.tasks[name]
+            new_node = failover_node(spec.inputs, self.homes, survivors,
+                                     rc.nbytes)
+            self.assignment[name] = new_node
+            for array in spec.outputs:
+                self.homes[array] = new_node
+                self._broadcast(ctx, {"op": "rehome", "array": array,
+                                      "home": new_node, "recover": True})
+            for array in spec.inputs:
+                ctx.write(f"out_{new_node}", DataBuffer(
+                    {"op": "ensure", "array": array,
+                     "home": self.homes.get(array, -1)}))
+            self.tracer.instant(new_node, "gsched", "recovery",
+                                "task_reassign", task=name, from_node=dead)
+            rc.metrics.inc("tasks_reassigned")
+            if rc.lineage is not None:
+                rc.lineage.record("reassign", task=name, node=new_node)
+            if name in ready_now and name not in self._replaying:
+                # It had been dispatched to the corpse; send it again.  The
+                # corpse may even have finished it with the report still in
+                # flight, so tolerate one duplicate completion.
+                self._dup_ok.add(name)
+                self._send(ctx, name)
+        if rc.lineage is not None:
+            rc.lineage.sync()
+
+    def _all_vanished(self, ctx: FilterContext) -> NoReturn:
+        """Every lsched control stream closed before the DAG completed.
+
+        The senders are gone, not slow.  With a failure detector armed,
+        give it its declaration window so the error names the dead node
+        (``NodeLostError`` out of ``_on_node_dead``) instead of a generic
+        protocol failure — this is how a single-node kill, where no
+        survivor is left to heartbeat, still fails loudly by name.
+        """
+        if self.membership is not None:
+            cfg = self.membership.config
+            deadline = (time.monotonic() + cfg.dead_after_s
+                        + 4 * cfg.heartbeat_s)
+            while time.monotonic() < deadline:
+                self._check_membership(ctx)  # may raise NodeLostError
+                time.sleep(cfg.poll_s)
+        raise SchedulingError(
+            "local schedulers vanished before the DAG completed"
+        )
 
     def process(self, ctx: FilterContext) -> None:
         for name in sorted(self.dag.ready_tasks()):
             self._send(ctx, name)
-        while not self.dag.done:
-            buf = ctx.read("in")
+        poll_s = (self.membership.config.poll_s
+                  if self.membership is not None else None)
+        while not (self.dag.done and not self._replaying):
+            if self.membership is not None:
+                now = time.monotonic()
+                if now - self._last_check >= poll_s:
+                    self._last_check = now
+                    self._check_membership(ctx)
+            try:
+                _port, buf = ctx.read_any(["in"], timeout=poll_s)
+            except TimeoutError:
+                continue  # loop back through the membership check
             if buf is END_OF_STREAM:
-                raise SchedulingError(
-                    "local schedulers vanished before the DAG completed"
-                )
+                self._all_vanished(ctx)
             msg = buf.payload
+            if msg["op"] == "heartbeat":
+                self._heartbeat(ctx, msg["node"])
+                continue
             if msg["op"] == "failed":
                 self._reroute(ctx, msg)
                 continue
+            if msg["task"] in self._replaying:
+                # A reconstruction replay finished: the DAG already counts
+                # this task as complete, so only clear the replay flag.
+                self._replaying.discard(msg["task"])
+                if (self.recovery is not None
+                        and self.recovery.lineage is not None):
+                    self.recovery.lineage.record(
+                        "replay_done", task=msg["task"])
+                continue
+            if msg["task"] in self._dup_ok and msg["task"] in self.dag.completed:
+                # The corpse finished this task before dying; the survivor's
+                # re-execution already marked it complete (or vice versa).
+                self._dup_ok.discard(msg["task"])
+                continue
             for newly in self.dag.mark_complete(msg["task"]):
                 self._send(ctx, newly)
+            if (self.recovery is not None
+                    and self.recovery.lineage is not None):
+                self.recovery.lineage.record(
+                    "complete", task=msg["task"],
+                    node=self.assignment.get(msg["task"], -1))
             if self.gc_arrays:
                 self._collect(ctx, msg["task"])
         for i in range(self.n_nodes):
@@ -1228,6 +1638,8 @@ class DOoCEngine:
         task_max_attempts: int = 3,
         task_max_reroutes: int | None = None,
         protocol_checkers: bool | None = None,
+        membership: MembershipConfig | bool | None = None,
+        node_recovery: bool = True,
     ):
         if n_nodes < 1 or workers_per_node < 1 or io_filters_per_node < 1:
             raise DoocError("n_nodes, workers and I/O filters must be >= 1")
@@ -1248,6 +1660,13 @@ class DOoCEngine:
         self.task_max_attempts = task_max_attempts
         #: cross-node reroutes before giving up (None = every other node)
         self.task_max_reroutes = task_max_reroutes
+        #: failure detection: a MembershipConfig (or True for defaults)
+        #: turns on heartbeats + the alive/suspect/dead tracker; None
+        #: auto-enables it exactly when the fault plan injects node kills
+        self.membership = membership
+        #: on a declared death, reconstruct (True) or fail with a named
+        #: NodeLostError (False)
+        self.node_recovery = node_recovery
         #: run the protocol checkers (lock-order recorder, ticket-lifecycle
         #: auditor, pre-execution DAG validation)?  None defers to the
         #: ``DOOC_CHECKERS`` environment flag; production runs pay nothing.
@@ -1276,6 +1695,8 @@ class DOoCEngine:
         self.stores: dict[int, LocalStore] = {}
         self._descs: dict[str, ArrayDesc] = {}
         self._homes: dict[str, int] = {}
+        #: the last run's failure detector (None until a membership run)
+        self._tracker: MembershipTracker | None = None
 
     def cleanup(self) -> None:
         """Delete an engine-owned scratch directory now (no-op otherwise)."""
@@ -1286,6 +1707,31 @@ class DOoCEngine:
         path = self.scratch_root / f"node{node}"
         path.mkdir(parents=True, exist_ok=True)
         return path
+
+    def _membership_config(self) -> MembershipConfig | None:
+        m = self.membership
+        if isinstance(m, MembershipConfig):
+            return m
+        if m is True:
+            return MembershipConfig()
+        if m is None and self.faults is not None and self.faults.node_kill:
+            # Injecting node deaths without a failure detector would just
+            # produce unexplained stalls; arm the default detector.
+            return MembershipConfig()
+        return None
+
+    def _reseed_array(self, array: str, dead: int, new_home: int) -> None:
+        """Recover a lost *initial* array by re-reading its backing file.
+
+        In the paper's deployment input files live on a shared parallel
+        filesystem that outlives any compute node; here the corpse's
+        scratch directory plays that role (threads don't take disks with
+        them), so re-seeding is a byte copy into the new home's scratch.
+        """
+        from repro.core.iofilter import array_path
+        src = array_path(self.node_scratch(dead), array)
+        dst = array_path(self.node_scratch(new_home), array)
+        atomic_write(dst, src.read_bytes())
 
     # -- run ---------------------------------------------------------------------
 
@@ -1360,14 +1806,36 @@ class DOoCEngine:
                 self.faults, node, metrics=store.metrics,
                 tracer=self.tracer) if inject else None
 
+        membership_cfg = self._membership_config()
+        tracker = (MembershipTracker(self.n_nodes, membership_cfg)
+                   if membership_cfg is not None else None)
+        self._tracker = tracker
+        recovery_metrics = MetricsRegistry()
+        lineage: LineageLog | None = None
+        recovery_ctx = None
+        if tracker is not None:
+            # Durable lineage: every (task, node, inputs, outputs) fact the
+            # reconstruction planner relies on, journaled before the run.
+            lineage = LineageLog(self.scratch_root / "lineage.jsonl")
+            for t in program.tasks:
+                lineage.record("task", task=t.name, node=assignment[t.name],
+                               inputs=list(t.inputs), outputs=list(t.outputs))
+            lineage.sync()
+            recovery_ctx = _RecoveryContext(
+                descs=self._descs, nbytes=nbytes, reseed=self._reseed_array,
+                metrics=recovery_metrics, lineage=lineage,
+                node_recovery=self.node_recovery)
+
         layout = self._build_layout(program, dag, assignment, directories,
-                                    nbytes, injectors)
+                                    nbytes, injectors,
+                                    membership_cfg=membership_cfg,
+                                    tracker=tracker, recovery=recovery_ctx)
         recorder = None
         if self.protocol_checkers:
             from repro.analysis.lockorder import LockOrderRecorder
             recorder = LockOrderRecorder()
         runtime = ThreadedRuntime(layout, lock_recorder=recorder)
-        watchdog = self._build_watchdog(runtime)
+        watchdog = self._build_watchdog(runtime, tracker)
         self.tracer.instant(-1, "engine", "run", "phase",
                             phase="start", program=program.name)
         started = time.monotonic()
@@ -1375,6 +1843,14 @@ class DOoCEngine:
             if watchdog is not None:
                 watchdog.start()
             runtime.run(timeout=timeout)
+        except FilterError as exc:
+            # A declared node loss that could not be recovered (no
+            # survivors, or node_recovery=False) surfaces by name rather
+            # than as an opaque filter crash.
+            cause = self._node_loss_cause(runtime, exc)
+            if cause is not None:
+                raise cause from exc
+            raise
         except TimeoutError as exc:
             # Replace the runtime's opaque timeout with the watchdog's view
             # of who is stuck (blocked tickets, queued allocations, ready
@@ -1383,27 +1859,60 @@ class DOoCEngine:
             message = str(exc)
             if diagnosis is not None:
                 message = f"{message}\n{diagnosis.render()}"
+            if tracker is not None and tracker.dead_nodes():
+                # Not a generic stall: a node is dead and the run wedged
+                # anyway.  Name the corpse and what it took with it.
+                dead = tracker.dead_nodes()[0]
+                lost = sum(
+                    len(list(d.blocks()))
+                    for a, d in self._descs.items()
+                    if self._homes.get(a) == dead)
+                raise NodeLostError(
+                    f"node {dead} was declared dead and the run did not "
+                    f"recover in time: {message}", diagnosis,
+                    node=dead, lost_blocks=lost) from exc
             raise StallError(message, diagnosis) from exc
         finally:
             if watchdog is not None:
                 watchdog.stop()
+            if lineage is not None:
+                lineage.close()
         self.tracer.instant(-1, "engine", "run", "phase", phase="end")
         if auditor is not None:
             # Every grant on every node must have been unwound by a release
             # or an abandonment; leaks are named ticket-by-ticket.
             auditor.assert_clean()
         wall = time.monotonic() - started
+        metrics = {n: s.metrics.as_dict() for n, s in self.stores.items()}
+        recovered = recovery_metrics.as_dict()
+        if recovered:
+            # Engine-level recovery counters ride under the pseudo-node -1
+            # (the same convention the tracer uses for engine events).
+            metrics[-1] = recovered
         return RunReport(
             wall_seconds=wall,
             assignment=assignment,
             store_stats={n: s.stats for n, s in self.stores.items()},
             stream_stats=runtime.stream_stats(),
-            metrics={n: s.metrics.as_dict() for n, s in self.stores.items()},
+            metrics=metrics,
             trace_events=self.tracer.drain(),
             diagnosis=watchdog.last_diagnosis if watchdog is not None else None,
         )
 
-    def _build_watchdog(self, runtime: ThreadedRuntime) -> StallWatchdog | None:
+    @staticmethod
+    def _node_loss_cause(runtime: ThreadedRuntime,
+                         exc: FilterError) -> NodeLostError | None:
+        """Find a NodeLostError among the runtime's filter failures."""
+        errors = list(getattr(runtime, "_errors", None) or [])
+        for err in [exc, *errors]:
+            cause = getattr(err, "cause", None)
+            if isinstance(cause, NodeLostError):
+                return cause
+        return None
+
+    def _build_watchdog(self, runtime: ThreadedRuntime,
+                        tracker: MembershipTracker | None = None,
+                        ) -> StallWatchdog | None:
         if not self.watchdog_quiet_s:
             return None
         watchdog = StallWatchdog(self.tracer, quiet_s=self.watchdog_quiet_s)
@@ -1412,6 +1921,9 @@ class DOoCEngine:
         for node in range(self.n_nodes):
             lsched = runtime.instances[f"lsched@{node}"][0].filter
             watchdog.watch_scheduler(node, lsched.debug_snapshot)
+        if tracker is not None:
+            watchdog.watch_membership(
+                lambda: tracker.snapshot(time.monotonic()))
         return watchdog
 
     def _build_layout(self, program: Program, dag: TaskDAG,
@@ -1419,14 +1931,20 @@ class DOoCEngine:
                       directories: dict[int, DirectoryClient],
                       nbytes: dict[str, int],
                       injectors: dict[int, FaultInjector | None],
+                      *,
+                      membership_cfg: MembershipConfig | None = None,
+                      tracker: MembershipTracker | None = None,
+                      recovery: _RecoveryContext | None = None,
                       ) -> Layout:
         n = self.n_nodes
+        heartbeat_s = (membership_cfg.heartbeat_s
+                       if membership_cfg is not None else None)
         layout = Layout(program.name)
         layout.add_filter(
             "gsched", lambda: _GlobalSchedulerFilter(
                 dag, assignment, n, gc_arrays=self.gc_arrays,
                 homes=self._homes, max_reroutes=self.task_max_reroutes,
-                tracer=self.tracer))
+                tracer=self.tracer, membership=tracker, recovery=recovery))
         for node in range(n):
             store = self.stores[node]
             directory = directories[node]
@@ -1451,13 +1969,16 @@ class DOoCEngine:
             )
             layout.add_filter(
                 f"lsched@{node}",
-                lambda node=node, store=store: _LocalSchedulerFilter(
+                lambda node=node, store=store,
+                injector=injector: _LocalSchedulerFilter(
                     node, self.workers_per_node, nbytes,
                     prefetch_depth=self.prefetch_depth,
                     reorder=self.scheduler_reorder,
                     tracer=self.tracer,
                     metrics=store.metrics,
-                    max_attempts=self.task_max_attempts),
+                    max_attempts=self.task_max_attempts,
+                    heartbeat_s=heartbeat_s,
+                    injector=injector),
             )
             layout.add_filter(
                 f"worker@{node}",

@@ -45,3 +45,24 @@ class StallError(DoocError, TimeoutError):
     def __init__(self, message: str, diagnosis=None):
         super().__init__(message)
         self.diagnosis = diagnosis
+
+
+class NodeLostError(StallError):
+    """A node was declared permanently dead and the run could not recover.
+
+    Carries the dead node's id and the number of array blocks homed there
+    (the data lost with it).  Subclasses :class:`StallError` so callers
+    treating a stalled run generically keep working, but a *dead* node is
+    never reported as a generic stall — the failure detector's verdict and
+    the lost-block count are in the message and on the attributes.
+    """
+
+    def __init__(self, message: str, diagnosis=None, *, node: int = -1,
+                 lost_blocks: int = 0):
+        super().__init__(message, diagnosis)
+        self.node = node
+        self.lost_blocks = lost_blocks
+
+
+class RecoveryError(DoocError):
+    """Checkpoint/restart or lineage machinery failed (corrupt manifest...)."""

@@ -15,6 +15,34 @@ from repro.core.dag import TaskDAG
 from repro.core.errors import SchedulingError
 
 
+def failover_node(
+    task_inputs,
+    array_homes: Mapping[str, int],
+    survivors: list[int],
+    array_nbytes: Mapping[str, int],
+) -> int:
+    """Pick the survivor hosting the most input bytes of a recovering task.
+
+    The same affinity heuristic as initial placement ("tasks are sent to
+    the compute nodes which host most of the data required to process
+    them"), restricted to nodes still alive after a failure.  Ties break
+    toward the lowest node index; pass ``survivors`` sorted for a
+    deterministic choice.
+    """
+    if not survivors:
+        raise SchedulingError("failover_node needs at least one survivor")
+    best, best_affinity = survivors[0], -1.0
+    for node in survivors:
+        affinity = float(sum(
+            array_nbytes.get(a, 0)
+            for a in task_inputs
+            if array_homes.get(a) == node
+        ))
+        if affinity > best_affinity:
+            best, best_affinity = node, affinity
+    return best
+
+
 class GlobalScheduler:
     """Computes (and records) a task -> node assignment."""
 

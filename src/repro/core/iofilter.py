@@ -30,6 +30,7 @@ from repro.datacutter.buffers import END_OF_STREAM, DataBuffer
 from repro.datacutter.filters import Filter, FilterContext
 from repro.faults import FaultInjector, InjectedIOError, RetryPolicy
 from repro.obs import MetricsRegistry, Tracer
+from repro.util.atomicio import atomic_write
 
 _SUFFIX = ".arr"
 
@@ -68,10 +69,12 @@ def block_offset(desc: ArrayDesc, block: int) -> int:
 def write_block(scratch: Path, desc: ArrayDesc, block: int, data: np.ndarray) -> None:
     """Persist one block at its offset (creating/growing the file).
 
-    The open is create-without-truncate (``O_CREAT | O_RDWR``): a
-    check-then-open ("w+b" when the path does not exist yet) races when
-    several I/O filters first-write different blocks of one array
-    concurrently — the loser's truncation zeroes the winner's block.
+    The write is crash-atomic: :func:`repro.util.atomicio.atomic_write`
+    splices the block into a complete fsynced temporary and renames it
+    over the array file, so a crash mid-write never leaves a torn block —
+    and its per-path lock serializes concurrent first-writes of different
+    blocks (the create/truncate race the old ``O_CREAT | O_RDWR`` open
+    existed to avoid).
     """
     expected = desc.block_length(block)
     if data.shape != (expected,):
@@ -79,12 +82,9 @@ def write_block(scratch: Path, desc: ArrayDesc, block: int, data: np.ndarray) ->
             f"block {block} of {desc.name!r} has length {expected}, "
             f"got shape {data.shape}"
         )
-    path = array_path(scratch, desc.name)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o666)
-    with os.fdopen(fd, "r+b") as fh:
-        fh.seek(block_offset(desc, block))
-        fh.write(np.ascontiguousarray(data, dtype=desc.dtype).tobytes())
+    atomic_write(array_path(scratch, desc.name),
+                 np.ascontiguousarray(data, dtype=desc.dtype).tobytes(),
+                 offset=block_offset(desc, block))
 
 
 def read_block(scratch: Path, desc: ArrayDesc, block: int) -> np.ndarray:

@@ -525,12 +525,24 @@ class LocalStore:
             del self._blocks[key]
         return effects
 
-    def rehome_local(self, desc: ArrayDesc) -> list[Effect]:
-        """This node becomes the home of a (never-written) rerouted array."""
+    def rehome_local(self, desc: ArrayDesc, *, on_disk: bool = False) -> list[Effect]:
+        """This node becomes the home of a (never-written) rerouted array.
+
+        With ``on_disk=True`` the array's bytes already sit in this node's
+        scratch directory (node-loss recovery re-seeded an initial array
+        from the shared filesystem), so every block is marked sealed and
+        loadable rather than awaiting a producer.
+        """
         if desc.name not in self.arrays:
             self.arrays[desc.name] = desc
         self._remote_arrays.discard(desc.name)
         effects = self._purge_blocks(desc.name)
+        if on_disk:
+            for b in desc.blocks():
+                st = self._state(desc.name, b)
+                st.on_disk = True
+                st.sealed = True
+                st.written = [desc.block_bounds(b)]
         effects.extend(self._pump_allocs())
         return effects
 
@@ -547,6 +559,22 @@ class LocalStore:
         """Register a remote handle if the array is unknown (reroute prep)."""
         if desc.name not in self.arrays:
             self.register_remote(desc)
+
+    def recover_remote(self, desc: ArrayDesc) -> list[Effect]:
+        """A lost array found a new home elsewhere; keep/repair a remote view.
+
+        Three cases, all safe under write-once: unknown here (register a
+        remote handle), already remote (keep it — any cached sealed blocks
+        stay byte-valid because reconstruction recomputes identical bytes),
+        or locally homed (a double failure moved it off this node too:
+        demote to remote, dropping local state).
+        """
+        if desc.name not in self.arrays:
+            self.register_remote(desc)
+            return []
+        if desc.name in self._remote_arrays:
+            return []
+        return self.rehome_remote(desc.name)
 
     # -- introspection ---------------------------------------------------------------
 

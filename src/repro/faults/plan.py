@@ -87,6 +87,11 @@ class FaultPlan:
     peer_delay_s: float = 0.05
     #: P(one attempt of a worker task crashes mid-execution)
     task_crash: float = 0.0
+    #: deterministic permanent node deaths: ``((node, after_tasks), ...)``.
+    #: Each listed node dies — silently and forever — once its local
+    #: scheduler has seen ``after_tasks`` task completions (and its
+    #: in-flight work has drained, modelling a crash between tasks).
+    node_kill: tuple[tuple[int, int], ...] = ()
 
     def __post_init__(self) -> None:
         for name in ("io_transient", "io_permanent", "peer_drop",
@@ -96,11 +101,27 @@ class FaultPlan:
                 raise ValueError(f"{name} must be a probability, got {p}")
         if self.peer_delay_s < 0:
             raise ValueError("peer_delay_s must be non-negative")
+        kills = tuple((int(n), int(step)) for n, step in self.node_kill)
+        if len({n for n, _ in kills}) != len(kills):
+            raise ValueError("node_kill lists a node twice")
+        for n, step in kills:
+            if n < 0 or step < 0:
+                raise ValueError(
+                    f"node_kill entries must be non-negative, got ({n}, {step})")
+        object.__setattr__(self, "node_kill", kills)
 
     @property
     def enabled(self) -> bool:
-        return any((self.io_transient, self.io_permanent, self.peer_drop,
-                    self.peer_delay, self.task_crash))
+        return bool(self.node_kill) or any(
+            (self.io_transient, self.io_permanent, self.peer_drop,
+             self.peer_delay, self.task_crash))
+
+    def kill_step(self, node: int) -> int | None:
+        """Task-completion count after which ``node`` dies (None = never)."""
+        for n, step in self.node_kill:
+            if n == node:
+                return step
+        return None
 
     def _draw(self, *site: object) -> float:
         """Uniform [0, 1) determined purely by (seed, site)."""
@@ -183,3 +204,11 @@ class FaultInjector:
         if hit:
             self._record("task_crash", task=task, attempt=attempt)
         return hit
+
+    def kill_step(self) -> int | None:
+        """This node's planned death point (task completions), if any."""
+        return self.plan.kill_step(self.node)
+
+    def record_node_kill(self, completed: int) -> None:
+        """Account the planned death actually firing on this node."""
+        self._record("node_kill", completed=completed)

@@ -26,7 +26,12 @@ from typing import Protocol
 import numpy as np
 
 from repro.core.array import ArrayDesc
-from repro.core.iofilter import delete_array_file, read_array, write_array
+from repro.core.iofilter import (
+    array_path,
+    delete_array_file,
+    read_array,
+    write_array,
+)
 
 
 class BasisStore(Protocol):  # pragma: no cover - typing aid
@@ -130,6 +135,23 @@ class DiskBasis:
 
     def __len__(self) -> int:
         return self._count
+
+    def reattach(self, count: int) -> None:
+        """Adopt ``count`` vectors already on disk (checkpoint restart).
+
+        A resumed Lanczos run reopens the scratch directory of the
+        interrupted one; the vector files are write-once, so trusting them
+        is exactly the engine's lineage argument applied to the basis.
+        The hot cache is dropped — the next access re-reads from disk.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        for i in range(count):
+            if not array_path(self.scratch, f"q{i}").exists():
+                raise FileNotFoundError(
+                    f"basis vector {i} missing from {self.scratch}")
+        self._count = count
+        self._cache.clear()
 
     def last(self, back: int = 1) -> np.ndarray:
         if not 1 <= back <= self._count:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Callable
+from pathlib import Path
 
 import numpy as np
 import scipy.linalg
@@ -56,6 +57,9 @@ def lanczos(
     tol: float = 1e-10,
     want_vectors: bool = False,
     basis: BasisStore | None = None,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int = 10,
+    resume: bool = False,
 ) -> LanczosResult:
     """Run up to ``k`` Lanczos steps with full reorthogonalization.
 
@@ -64,33 +68,65 @@ def lanczos(
     ``|beta_k s_ki| <= tol * |theta_i|`` (early exit).  ``basis`` selects
     where the Krylov vectors are kept (default: in memory); pass a
     :class:`~repro.lanczos.basis.DiskBasis` to bound RAM at O(D).
+
+    ``checkpoint_dir`` persists the recurrence state every
+    ``checkpoint_every`` steps; ``resume=True`` restarts from the newest
+    intact checkpoint and continues bit-identically.  Resuming requires a
+    basis store whose vectors survived the crash — a
+    :class:`~repro.lanczos.basis.DiskBasis` on the same scratch
+    directory, re-adopted via its ``reattach`` hook (the vector files are
+    write-once, so the reattach is exactly the engine's lineage argument
+    applied to the basis).
     """
     if k < 1 or n < 1:
         raise ValueError("k and n must be >= 1")
     if n_eigenvalues < 1 or n_eigenvalues > k:
         raise ValueError("n_eigenvalues must be in [1, k]")
-    if v0 is not None:
-        v = np.asarray(v0, dtype=np.float64).copy()
-        if v.shape != (n,):
-            raise ValueError(f"v0 has shape {v.shape}, want ({n},)")
-    else:
-        gen = rng if rng is not None else np.random.default_rng(0)
-        v = gen.standard_normal(n)
-    norm = np.linalg.norm(v)
-    if norm == 0:
-        raise ValueError("starting vector is zero")
-    v /= norm
-
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
     steps = min(k, n)
-    store: BasisStore = basis if basis is not None else InMemoryBasis(
-        n, steps + 1)
-    store.append(v)
-    v_curr = v
-    v_prev: np.ndarray | None = None
-    alphas: list[float] = []
-    betas: list[float] = []
+    mgr = None
+    ckpt = None
+    if checkpoint_dir is not None:
+        from repro.recovery.checkpoint import CheckpointManager
+        mgr = CheckpointManager(checkpoint_dir)
+        if resume:
+            ckpt = mgr.load_latest()
+    if ckpt is not None:
+        if basis is None or not hasattr(basis, "reattach"):
+            from repro.core.errors import RecoveryError
+            raise RecoveryError(
+                "resuming Lanczos needs a reattachable basis store "
+                "(a DiskBasis on the surviving scratch directory)"
+            )
+        basis.reattach(int(ckpt.extra["basis_count"]))
+        store: BasisStore = basis
+        alphas = [float(a) for a in ckpt.arrays["alphas"]]
+        betas = [float(b) for b in ckpt.arrays["betas"]]
+        v_curr = ckpt.arrays["v_curr"].copy()
+        v_prev: np.ndarray | None = ckpt.arrays["v_prev"].copy()
+        start = ckpt.step
+    else:
+        if v0 is not None:
+            v = np.asarray(v0, dtype=np.float64).copy()
+            if v.shape != (n,):
+                raise ValueError(f"v0 has shape {v.shape}, want ({n},)")
+        else:
+            gen = rng if rng is not None else np.random.default_rng(0)
+            v = gen.standard_normal(n)
+        norm = np.linalg.norm(v)
+        if norm == 0:
+            raise ValueError("starting vector is zero")
+        v /= norm
+        store = basis if basis is not None else InMemoryBasis(n, steps + 1)
+        store.append(v)
+        v_curr = v
+        v_prev = None
+        alphas = []
+        betas = []
+        start = 0
 
-    for j in range(steps):
+    for j in range(start, steps):
         w = matvec(v_curr)
         alpha = float(v_curr @ w)
         alphas.append(alpha)
@@ -114,6 +150,13 @@ def lanczos(
         v_prev = v_curr
         v_curr = w / beta
         store.append(v_curr)
+        if mgr is not None and (j + 1) % checkpoint_every == 0:
+            mgr.save(j + 1, {
+                "alphas": np.asarray(alphas),
+                "betas": np.asarray(betas),
+                "v_curr": v_curr,
+                "v_prev": v_prev,
+            }, {"step": j + 1, "basis_count": len(store)})
 
     theta, s = _ritz(alphas, betas[: len(alphas) - 1])
     iterations = len(alphas)

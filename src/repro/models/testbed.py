@@ -61,6 +61,13 @@ class TestbedWorkload:
     def subvector_bytes(self) -> float:
         return self.subvector_rows * 8.0
 
+    @property
+    def checkpoint_bytes(self) -> float:
+        """One node's slice of the iterate — the per-node payload of an
+        iteration-boundary checkpoint (the matrix is read-only and needs
+        no checkpointing; only the evolving vector does)."""
+        return self.rows_per_node * 8.0
+
     def matrix_dimension(self, nodes: int) -> int:
         """Global matrix dimension: nodes tile a 2-D block decomposition,
         so D grows with sqrt(nodes) (Table III: 50M at 1 node, 300M at 36)
@@ -86,6 +93,24 @@ class TestbedWorkload:
         if side * side != nodes:
             raise ValueError(f"{nodes} is not a perfect square")
         return side * self.local_grid_side
+
+
+def reconstruction_penalty_seconds(
+    workload: TestbedWorkload,
+    *,
+    detection_s: float = 1.2,
+    peak_bytes_per_s: float = 20 * GB,
+) -> float:
+    """Lower bound on a buddy takeover after a permanent node loss.
+
+    The failure detector's declaration window (the engine's
+    ``dead_after_s``) plus one full re-read of the dead node's sub-matrix
+    working set at peak shared-filesystem bandwidth — the analytic
+    counterpart of the DES testbed's takeover path.
+    """
+    if detection_s < 0 or peak_bytes_per_s <= 0:
+        raise ValueError("bad reconstruction-penalty parameters")
+    return detection_s + workload.bytes_per_node / peak_bytes_per_s
 
 
 def optimal_io_seconds(total_bytes: float, iterations: int,

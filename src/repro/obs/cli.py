@@ -70,6 +70,14 @@ def _summary(events: list[TraceEvent]) -> str:
         lines.append("busy time (summed spans):")
         for name, dur in sorted(busy.items(), key=lambda kv: -kv[1]):
             lines.append(f"  {name:24s} {dur:9.3f}s")
+    recovery = [e for e in events
+                if e.cat == "recovery" and e.name != "heartbeat"]
+    if recovery:
+        lines.append("recovery timeline:")
+        for e in sorted(recovery, key=lambda e: e.ts):
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(e.args.items()))
+            lines.append(
+                f"  {e.ts - t0:9.3f}s  {e.name:20s} {detail}".rstrip())
     return "\n".join(lines)
 
 

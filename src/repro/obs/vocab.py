@@ -62,6 +62,19 @@ EVENTS: dict[str, tuple[str, str, str]] = {
     "peer_drop": ("fault", "i", "injected dropped peer message"),
     "peer_delay": ("fault", "i", "injected delayed peer message"),
     "task_crash": ("fault", "i", "injected worker task crash"),
+    "node_kill": ("fault", "i", "injected permanent node death"),
+    # -- membership & recovery ----------------------------------------------
+    "heartbeat": ("recovery", "i", "local-scheduler liveness beacon to gsched"),
+    "node_suspect": ("recovery", "i", "missed heartbeats; node quarantined"),
+    "node_alive": ("recovery", "i", "a suspect node heartbeated again"),
+    "node_dead": ("recovery", "i", "suspect escalated to dead; recovery runs"),
+    "node_evict": ("recovery", "i", "storage applied a dead-node eviction"),
+    "reconstruct": ("recovery", "i", "a lost array re-homed to a survivor"),
+    "lineage_replay": ("recovery", "i", "completed producer task re-dispatched"),
+    "task_reassign": ("recovery", "i", "incomplete task moved off a dead node"),
+    "checkpoint_write": ("recovery", "i", "solver-state checkpoint written"),
+    "checkpoint_restore": ("recovery", "i", "solver state restored from disk"),
+    "checkpoint_reject": ("recovery", "i", "corrupt checkpoint skipped"),
     # -- run-level ----------------------------------------------------------
     "phase": ("run", "i", "run-level milestone (start/end, sim phases)"),
 }

@@ -31,6 +31,9 @@ class Diagnosis:
     at: float                 # tracer time of the diagnosis
     quiet_s: float            # silence that triggered it
     nodes: list[dict] = field(default_factory=list)
+    #: node -> {"state": alive|suspect|dead, "silent_s": ...} from the
+    #: failure detector, when membership tracking is on
+    membership: dict[int, dict] | None = None
 
     @property
     def blocked_tickets(self) -> list[int]:
@@ -46,6 +49,22 @@ class Diagnosis:
             f"stall watchdog: no runtime event for {self.quiet_s:.2f}s "
             f"(t={self.at:.2f}s); per-node state:"
         ]
+        if self.membership:
+            # Lead with liveness: a DEAD node reframes every blocked-ticket
+            # line below as "waiting on a corpse", not as a protocol bug.
+            gone = {n: m for n, m in self.membership.items()
+                    if m.get("state") != "alive"}
+            for n, m in sorted(gone.items()):
+                state = str(m.get("state", "?")).upper()
+                lines.append(
+                    f"  node {n} membership: {state} "
+                    f"(silent {m.get('silent_s', '?')}s)"
+                )
+            if not gone:
+                lines.append(
+                    "  membership: all nodes heartbeating (stall is not a "
+                    "node loss)"
+                )
         for node in self.nodes:
             n = node.get("node", "?")
             lines.append(
@@ -122,6 +141,7 @@ class StallWatchdog:
         self.last_diagnosis: Diagnosis | None = None
         self._stores: dict[int, object] = {}
         self._schedulers: dict[int, Callable[[], dict]] = {}
+        self._membership: Callable[[], dict] | None = None
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
 
@@ -136,11 +156,25 @@ class StallWatchdog:
         """Register a per-node scheduler snapshot callable."""
         self._schedulers[node] = snapshot
 
+    def watch_membership(self, snapshot: Callable[[], dict]) -> None:
+        """Register the failure detector's per-node liveness snapshot.
+
+        With this registered, a diagnosis separates "node 1 is DEAD, the
+        cluster is reconstructing its blocks" from retry churn on a node
+        that is slow but still heartbeating.
+        """
+        self._membership = snapshot
+
     # -- diagnosis ------------------------------------------------------------
 
     def diagnose(self) -> Diagnosis:
         """Assemble a diagnosis from the registered sources right now."""
         diag = Diagnosis(at=self.tracer.now(), quiet_s=self.quiet_s)
+        if self._membership is not None:
+            try:
+                diag.membership = dict(self._membership())
+            except Exception as exc:  # noqa: BLE001 - concurrent mutation
+                diag.membership = {-1: {"state": f"error: {exc!r}"}}
         for node in sorted(set(self._stores) | set(self._schedulers)):
             entry: dict = {"node": node}
             store = self._stores.get(node)

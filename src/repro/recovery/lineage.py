@@ -1,0 +1,163 @@
+"""Block lineage: durable records + the reconstruction planner.
+
+The DAG already *is* the lineage — every derived array names exactly one
+producing task, and the global scheduler homes a task's outputs on the
+node that ran it.  Two consequences fall out of the write-once discipline
+(DOoC §3) and make node-loss recovery cheap:
+
+* every completed producer of an array homed on a dead node necessarily
+  ran **on that node**, so the set of tasks to re-execute is exactly the
+  dead node's lineage — no distributed snapshot, no rollback;
+* survivors' cached copies of lost blocks stay byte-valid forever (sealed
+  blocks are immutable), so reconstruction never touches consumer caches
+  and no coherency protocol is needed.
+
+:func:`plan_reconstruction` computes the *minimal transitive* replay set:
+only lost arrays that something still needs (an incomplete consumer, or a
+terminal result) pull their producers in, and the closure walks backwards
+only through inputs that are themselves unavailable (lost with the node,
+or garbage-collected).  Input arrays re-load from the shared filesystem;
+derived arrays recompute.
+
+:class:`LineageLog` persists the same facts (task → inputs/outputs/node,
+completions, recoveries) as an append-only JSONL file in the run's scratch
+root, so a post-mortem can reconstruct what the scheduler knew.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.dag import TaskDAG
+
+__all__ = ["LineageLog", "ReconstructionPlan", "plan_reconstruction"]
+
+
+class LineageLog:
+    """Append-only JSONL lineage journal (one fact per line).
+
+    Records are flushed per write and fsynced at :meth:`sync` points
+    (recovery planning, shutdown) — task completion is not stalled behind
+    a disk barrier, but every recovery decision is preceded by one.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def record(self, kind: str, **fields) -> None:
+        entry = {"kind": kind, **fields}
+        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def sync(self) -> None:
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            try:
+                self.sync()
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                pass
+            self._fh.close()
+
+    @staticmethod
+    def read(path: str | Path) -> list[dict]:
+        """Parse a lineage journal back into records."""
+        out = []
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    out.append(json.loads(line))
+        return out
+
+
+@dataclass
+class ReconstructionPlan:
+    """What it takes to recover from one node's permanent death."""
+
+    dead: int
+    #: initial arrays homed on the corpse: re-home + re-read from the
+    #: shared filesystem (the paper's GPFS outlives any compute node)
+    reseed: list[str] = field(default_factory=list)
+    #: completed tasks to re-execute, in topological order
+    replay: list[str] = field(default_factory=list)
+    #: incomplete tasks assigned to the corpse: move to survivors
+    reassign: list[str] = field(default_factory=list)
+    #: every array homed on the corpse (reporting / eviction bookkeeping)
+    lost_arrays: list[str] = field(default_factory=list)
+    #: total blocks those arrays span — the data the node took with it
+    lost_blocks: int = 0
+
+
+def plan_reconstruction(
+    dag: TaskDAG,
+    homes: dict[str, int],
+    assignment: dict[str, int],
+    dead: int,
+    *,
+    descs: dict | None = None,
+    collected: set[str] | None = None,
+) -> ReconstructionPlan:
+    """Plan the minimal recovery for ``dead``'s permanent loss.
+
+    ``collected`` names arrays garbage-collected cluster-wide; a replay
+    task needing one pulls its producer into the replay set too (the
+    blocks exist nowhere, but their lineage still does).
+    """
+    collected = collected or set()
+    initial = dag.initial_arrays
+    lost = sorted(a for a, h in homes.items() if h == dead)
+    lost_set = set(lost)
+
+    def unavailable(array: str) -> bool:
+        return array in lost_set or array in collected
+
+    # Lost derived arrays something still needs: a consumer that has not
+    # completed, or no consumer at all (a terminal result the caller will
+    # fetch).  Fully-consumed intermediates stay dead — minimal set.
+    needed = []
+    for a in lost:
+        if a in initial:
+            continue
+        producer = dag.producer[a]
+        if producer not in dag.completed:
+            continue  # never produced; the reassignment below re-runs it
+        consumers = dag.consumers_of(a)
+        if not consumers or any(c not in dag.completed for c in consumers):
+            needed.append(a)
+
+    replay: set[str] = set()
+    stack = [dag.producer[a] for a in needed]
+    while stack:
+        t = stack.pop()
+        if t in replay:
+            continue
+        replay.add(t)
+        for a in dag.tasks[t].inputs:
+            if a in initial:
+                continue  # re-seeded from the filesystem if it was lost
+            if unavailable(a):
+                stack.append(dag.producer[a])
+
+    topo_index = {name: i for i, name in enumerate(dag.topological_order())}
+    reassign = sorted(
+        t for t, node in assignment.items()
+        if node == dead and t not in dag.completed
+    )
+    lost_blocks = 0
+    if descs is not None:
+        lost_blocks = sum(len(list(descs[a].blocks())) for a in lost)
+    return ReconstructionPlan(
+        dead=dead,
+        reseed=[a for a in lost if a in initial],
+        replay=sorted(replay, key=lambda t: topo_index[t]),
+        reassign=reassign,
+        lost_arrays=lost,
+        lost_blocks=lost_blocks,
+    )

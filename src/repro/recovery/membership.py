@@ -1,0 +1,134 @@
+"""Heartbeat-driven membership: the alive → suspect → dead state machine.
+
+Each local scheduler piggybacks a periodic ``{"op": "heartbeat"}`` message
+on its existing control stream to the global scheduler, which feeds the
+beats into a :class:`MembershipTracker`.  A node that misses beats long
+enough is *quarantined* as a suspect; one that stays silent past the dead
+threshold is *declared dead* and evicted cluster-wide.
+
+The crucial distinction from the stall watchdog: a node that is merely
+*slow* — churning through I/O retries, re-executing a crashed task — keeps
+heartbeating, because the beacon comes from the scheduler loop, not from
+task progress.  Only genuine silence (a dead filter stack) escalates, so
+retry churn is never misdiagnosed as death and a corpse is never
+misdiagnosed as retry churn.
+
+The tracker is pure state + explicit clocks (``now`` is always passed in),
+so the escalation logic is unit-testable without threads or sleeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ALIVE", "SUSPECT", "DEAD", "MembershipConfig",
+           "MembershipTracker"]
+
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class MembershipConfig:
+    """Failure-detector tuning knobs (see docs/RECOVERY.md).
+
+    ``heartbeat_s`` is the beacon period; ``suspect_after_s`` /
+    ``dead_after_s`` are silence thresholds.  The defaults tolerate a few
+    missed beats before quarantine and several more before eviction —
+    tighten for tests, loosen for heavily oversubscribed hosts.
+    """
+
+    heartbeat_s: float = 0.05
+    suspect_after_s: float = 0.4
+    dead_after_s: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be positive")
+        if not self.heartbeat_s < self.suspect_after_s < self.dead_after_s:
+            raise ValueError(
+                "thresholds must satisfy "
+                "heartbeat_s < suspect_after_s < dead_after_s")
+
+    @property
+    def poll_s(self) -> float:
+        """How often the detector should re-examine silence."""
+        return self.heartbeat_s
+
+
+class MembershipTracker:
+    """Tracks per-node liveness from timestamped heartbeats.
+
+    Drive it with :meth:`beat` (a heartbeat arrived) and :meth:`check`
+    (time passed; returns newly fired transitions).  ``DEAD`` is
+    absorbing: a zombie's late beat is ignored, because eviction and
+    re-homing have already been broadcast in its name.
+    """
+
+    def __init__(self, nodes: int, config: MembershipConfig | None = None):
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        self.config = config or MembershipConfig()
+        self._state: dict[int, str] = {n: ALIVE for n in range(nodes)}
+        self._last_beat: dict[int, float] | None = None  # set on first event
+
+    def _ages(self, now: float) -> dict[int, float]:
+        if self._last_beat is None:
+            self._last_beat = {n: now for n in self._state}
+        return {n: now - t for n, t in self._last_beat.items()}
+
+    def beat(self, node: int, now: float) -> str | None:
+        """Record a heartbeat; returns ``"alive"`` if a suspect recovered."""
+        if node not in self._state:
+            raise ValueError(f"unknown node {node}")
+        self._ages(now)
+        assert self._last_beat is not None
+        if self._state[node] == DEAD:
+            return None  # too late: the cluster already moved on
+        self._last_beat[node] = now
+        if self._state[node] == SUSPECT:
+            self._state[node] = ALIVE
+            return ALIVE
+        return None
+
+    def check(self, now: float) -> list[tuple[int, str]]:
+        """Escalate silent nodes; returns ``[(node, new_state), ...]``.
+
+        A node silent past ``dead_after_s`` yields both transitions in
+        order (suspect, then dead) if the suspect phase was never observed
+        by a poll.
+        """
+        transitions: list[tuple[int, str]] = []
+        cfg = self.config
+        for node, age in sorted(self._ages(now).items()):
+            state = self._state[node]
+            if state == DEAD:
+                continue
+            if state == ALIVE and age >= cfg.suspect_after_s:
+                self._state[node] = state = SUSPECT
+                transitions.append((node, SUSPECT))
+            if state == SUSPECT and age >= cfg.dead_after_s:
+                self._state[node] = DEAD
+                transitions.append((node, DEAD))
+        return transitions
+
+    # -- introspection ------------------------------------------------------
+
+    def state(self, node: int) -> str:
+        return self._state[node]
+
+    def dead_nodes(self) -> list[int]:
+        return sorted(n for n, s in self._state.items() if s == DEAD)
+
+    def quarantined(self) -> list[int]:
+        """Nodes currently under suspicion or declared dead."""
+        return sorted(n for n, s in self._state.items() if s != ALIVE)
+
+    def snapshot(self, now: float) -> dict[int, dict]:
+        """Per-node ``{"state": ..., "silent_s": ...}`` for diagnoses."""
+        ages = self._ages(now)
+        return {
+            n: {"state": self._state[n], "silent_s": round(ages[n], 3)}
+            for n in sorted(self._state)
+        }

@@ -3,12 +3,20 @@
 One out-of-core SpMV per iteration; the dot products and vector updates —
 like Lanczos' orthonormalization, "a smaller extent" of the cost — run in
 core.
+
+Pass ``checkpoint_dir`` to persist the full recurrence state ``(x, r, p,
+rr, history)`` every ``checkpoint_every`` iterations via
+:mod:`repro.recovery.checkpoint`; ``resume=True`` restarts from the newest
+intact checkpoint.  All state — including the scalar ``rr`` — is stored as
+raw float64 payloads, so a resumed solve continues the iterate sequence
+bit-identically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Callable
+from pathlib import Path
 from typing import Protocol
 
 import numpy as np
@@ -37,6 +45,9 @@ def conjugate_gradient_solve(
     tol: float = 1e-10,
     max_iterations: int | None = None,
     callback: Callable[[int, float], None] | None = None,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int = 10,
+    resume: bool = False,
 ) -> CGResult:
     """Solve A x = b (A symmetric positive definite) by CG."""
     n = operator.n
@@ -47,16 +58,34 @@ def conjugate_gradient_solve(
         max_iterations = 2 * n
     if max_iterations < 1:
         raise ValueError("max_iterations must be >= 1")
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     if x.shape != (n,):
         raise ValueError(f"x0 has shape {x.shape}, want ({n},)")
-    r = b - operator.matvec(x)
-    p = r.copy()
-    rr = float(r @ r)
     b_norm = float(np.linalg.norm(b)) or 1.0
-    history = [float(np.sqrt(rr))]
-    it = 0
-    for it in range(1, max_iterations + 1):
+    start = 0
+    mgr = None
+    ckpt = None
+    if checkpoint_dir is not None:
+        from repro.recovery.checkpoint import CheckpointManager
+        mgr = CheckpointManager(checkpoint_dir)
+        if resume:
+            ckpt = mgr.load_latest()
+    if ckpt is not None:
+        x = ckpt.arrays["x"].copy()
+        r = ckpt.arrays["r"].copy()
+        p = ckpt.arrays["p"].copy()
+        rr = float(ckpt.arrays["rr"][0])
+        history = [float(h) for h in ckpt.arrays["history"]]
+        start = ckpt.step
+    else:
+        r = b - operator.matvec(x)
+        p = r.copy()
+        rr = float(r @ r)
+        history = [float(np.sqrt(rr))]
+    it = start
+    for it in range(start + 1, max_iterations + 1):
         ap = operator.matvec(p)
         pap = float(p @ ap)
         if pap <= 0:
@@ -76,5 +105,9 @@ def conjugate_gradient_solve(
                             converged=True, residual_history=history)
         p = r + (rr_new / rr) * p
         rr = rr_new
+        if mgr is not None and it % checkpoint_every == 0:
+            mgr.save(it, {"x": x, "r": r, "p": p, "rr": np.array([rr]),
+                          "history": np.asarray(history)},
+                     {"iteration": it})
     return CGResult(x=x, iterations=it, residual_norm=history[-1],
                     converged=False, residual_history=history)

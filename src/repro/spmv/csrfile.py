@@ -28,6 +28,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.spmv.csr import CSRBlock, CSRError
+from repro.util.atomicio import atomic_write
 
 MAGIC = b"DOOCCSR1"
 _HEADER = struct.Struct("<8sqqq")
@@ -79,9 +80,14 @@ def deserialize_csr(raw) -> CSRBlock:
 
 
 def write_csr_file(path: str | Path, block: CSRBlock) -> int:
-    """Write a sub-matrix file; returns bytes written."""
+    """Write a sub-matrix file; returns bytes written.
+
+    Goes through :func:`atomic_write` so a crash mid-write can never leave
+    a torn file that passes the magic check but truncates the payload —
+    readers see the old complete file or the new complete file.
+    """
     data = serialize_csr(block)
-    Path(path).write_bytes(data)
+    atomic_write(Path(path), data)
     return len(data)
 
 

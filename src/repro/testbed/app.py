@@ -107,6 +107,12 @@ class TestbedRow:
     faults_injected: int = 0
     #: reads redone as task re-executions after permanent faults
     task_reexecutions: int = 0
+    #: nodes permanently lost to ``FaultPlan.node_kill`` entries
+    nodes_lost: int = 0
+    #: sub-matrix files re-read by buddies reconstructing dead nodes' state
+    blocks_reconstructed: int = 0
+    #: iteration-boundary checkpoint writes (``checkpoint_every`` runs only)
+    checkpoint_writes: int = 0
 
 
 class _Counter:
@@ -141,6 +147,8 @@ def run_testbed_spmv(
     tracer=None,
     faults: FaultPlan | None = None,
     io_retry: RetryPolicy | None = None,
+    checkpoint_every: int | None = None,
+    detection_s: float = 1.2,
 ) -> TestbedRow:
     """Simulate one testbed run and return its table row.
 
@@ -161,6 +169,18 @@ def run_testbed_spmv(
     write-once recovery story).  Faults perturb *time only*; the computed
     row differs from a fault-free run solely in ``time_s`` and derived
     columns, never in dimension/nnz.
+
+    ``FaultPlan.node_kill`` entries mirror the engine's permanent node
+    loss: when a node's iteration count reaches its kill step, a buddy
+    (the next surviving node) takes over its role for the rest of the run
+    — the iteration body is parameterized by the *acting* node, so all
+    reads, multiplies and sends charge to the buddy.  The takeover pays
+    ``detection_s`` of dead time (the failure detector's declaration
+    window, the engine's ``dead_after_s``) plus a reconstruction re-read
+    of the dead node's sub-matrix working set from the shared filesystem
+    (``blocks_reconstructed`` counts those files).  ``checkpoint_every``
+    adds an iteration-boundary checkpoint of each node's iterate parts,
+    the cost model for the solvers' checkpoint/restart path.
     """
     if policy not in ("simple", "interleaved"):
         raise ValueError(f"unknown policy {policy!r}")
@@ -228,8 +248,53 @@ def run_testbed_spmv(
     inject = faults is not None and faults.enabled
     retry = io_retry if io_retry is not None else RetryPolicy()
     fault_counts = {"io_retries": 0, "faults_injected": 0,
-                    "task_reexecutions": 0}
+                    "task_reexecutions": 0, "nodes_lost": 0,
+                    "blocks_reconstructed": 0, "checkpoint_writes": 0}
     read_seq = [0] * nodes  # per-node read sequence number = decision site
+
+    # Node-loss mirror: logical role -> physical executor.  A takeover
+    # re-points the role at a buddy; the topology (row owners, columns)
+    # stays keyed by the logical node.
+    kill_at = dict(faults.node_kill) if faults is not None else {}
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
+    acting = list(range(nodes))
+
+    def buddy_of(node: int) -> int:
+        b = (node + 1) % nodes
+        while b in kill_at and b != node:
+            b = (b + 1) % nodes
+        if b == node:
+            from repro.core.errors import NodeLostError
+            raise NodeLostError(
+                f"node {node} died with no survivor to take over",
+                node=node)
+        return b
+
+    def takeover(node: int):
+        """Detection delay + reconstruction re-read, then re-point."""
+        buddy = buddy_of(node)
+        fault_counts["nodes_lost"] += 1
+        yield env.timeout(detection_s)
+        for _ in range(subs_per_node):
+            yield cluster.fs_read(buddy, sub_bytes, label="reconstruct")
+        fault_counts["blocks_reconstructed"] += subs_per_node
+        acting[node] = buddy
+
+    def maybe_die(node: int, it: int):
+        if kill_at.get(node) == it and acting[node] == node:
+            yield from takeover(node)
+
+    def maybe_checkpoint(node: int, it: int):
+        """Iteration-boundary checkpoint of this role's iterate parts.
+
+        Modeled as a shared-filesystem transfer of the local sub-vectors
+        (GPFS read/write bandwidth is symmetric in this model)."""
+        if checkpoint_every is None or (it + 1) % checkpoint_every:
+            return
+        yield cluster.fs_read(acting[node], workload.checkpoint_bytes,
+                              label="ckpt")
+        fault_counts["checkpoint_writes"] += 1
 
     def fs_read(node: int, nbytes: float, label: str):
         """``cluster.fs_read`` with FaultPlan-driven retry/re-execution."""
@@ -268,19 +333,21 @@ def run_testbed_spmv(
 
     def node_simple(node: int):
         for it in range(iterations):
+            yield from maybe_die(node, it)
+            act = acting[node]
             factor = phase_factor()
             # Phase 1: local SpMVs, load then multiply (no interleaving).
             for _ in range(subs_per_node):
-                yield from fs_read(node, sub_bytes * factor, "sub")
+                yield from fs_read(act, sub_bytes * factor, "sub")
                 yield env.process(cluster.compute(
-                    node, mult_flops, cores=cores, label="mult"))
+                    act, mult_flops, cores=cores, label="mult"))
             yield barrier.wait()
             # Phase 2: ship raw intermediates to the row owner.
             owner = owner_of(node)
             counter = reduce_counters[(it, owner)]
             if node != owner:
                 yield env.process(send_vectors(
-                    node, owner, subs_per_node, it, "intermediate"))
+                    act, acting[owner], subs_per_node, it, "intermediate"))
                 counter.add(subs_per_node)
             else:
                 # Owner: wait for everyone, reduce, redistribute.
@@ -288,18 +355,24 @@ def run_testbed_spmv(
                 reduce_flops = (local_side * vec_bytes / 8.0) * (
                     local_side * side - 1)
                 yield env.process(cluster.compute(
-                    node, reduce_flops, cores=cores, label="reduce"))
+                    act, reduce_flops, cores=cores, label="reduce"))
                 sends = []
                 for dst in column_nodes(node):
                     sends.append(env.process(send_vectors(
-                        node, dst, local_side, it, "xnew")))
+                        act, acting[dst], local_side, it, "xnew")))
                 yield env.all_of(sends)
+            yield from maybe_checkpoint(node, it)
             yield barrier.wait()
 
     def node_interleaved(node: int):
         owner = owner_of(node)
         prefetched = 0  # sub-matrices of the upcoming iteration already read
         for it in range(iterations):
+            was_acting = acting[node]
+            yield from maybe_die(node, it)
+            act = acting[node]
+            if act != was_acting:
+                prefetched = 0  # prefetched buffers died with the node
             factor = phase_factor()
             slots = Resource(env, capacity=params.window)
             counter = reduce_counters[(it, owner)]
@@ -307,9 +380,10 @@ def run_testbed_spmv(
             work_done = _Counter(env, subs_per_node)
 
             def mult_then_rowsum(req, k, factor=factor, counter=counter,
-                                 row_done=row_done, work_done=work_done):
+                                 row_done=row_done, work_done=work_done,
+                                 act=act):
                 yield env.process(cluster.compute(
-                    node, mult_flops, cores=cores, label="mult"))
+                    act, mult_flops, cores=cores, label="mult"))
                 slots.release(req)
                 u_loc = k // local_side
                 row_done[u_loc].add()
@@ -317,20 +391,20 @@ def run_testbed_spmv(
                     # Local aggregation: one partial sub-vector per row.
                     psum_flops = (vec_bytes / 8.0) * (local_side - 1)
                     yield env.process(cluster.compute(
-                        node, psum_flops, cores=cores, label="psum"))
+                        act, psum_flops, cores=cores, label="psum"))
                     if node != owner:
                         yield env.process(send_vectors(
-                            node, owner, 1, it, "partial"))
+                            act, acting[owner], 1, it, "partial"))
                     counter.add()
                 work_done.add()
 
-            def load_pipeline(skip: int, factor=factor):
+            def load_pipeline(skip: int, factor=factor, act=act):
                 # Prefetched sub-matrices are already in DRAM: their mults
                 # run straight away.
                 for k in range(subs_per_node):
                     req = yield slots.request()
                     if k >= skip:
-                        yield from fs_read(node, sub_bytes * factor, "sub")
+                        yield from fs_read(act, sub_bytes * factor, "sub")
                     env.process(mult_then_rowsum(req, k))
 
             yield env.process(load_pipeline(prefetched))
@@ -340,12 +414,13 @@ def run_testbed_spmv(
                 yield counter.event
                 final_flops = (local_side * vec_bytes / 8.0) * (side - 1)
                 yield env.process(cluster.compute(
-                    node, final_flops, cores=cores, label="reduce"))
+                    act, final_flops, cores=cores, label="reduce"))
                 sends = []
                 for dst in column_nodes(node):
                     sends.append(env.process(send_vectors(
-                        node, dst, local_side, it, "xnew")))
+                        act, acting[dst], local_side, it, "xnew")))
                 yield env.all_of(sends)
+            yield from maybe_checkpoint(node, it)
             # The DAG execution model lets the storage layer warm the next
             # iteration's sub-matrices (up to the buffer window) while this
             # node waits for the others at the inter-iteration
@@ -355,10 +430,10 @@ def run_testbed_spmv(
             if it + 1 < iterations:
                 next_factor = phase_factor()
 
-                def prefetch_next(nf=next_factor):
+                def prefetch_next(nf=next_factor, act=act):
                     got = 0
                     for _ in range(min(params.window, subs_per_node)):
-                        yield from fs_read(node, sub_bytes * nf, "prefetch")
+                        yield from fs_read(act, sub_bytes * nf, "prefetch")
                         got += 1
                     return got
 
@@ -400,6 +475,9 @@ def run_testbed_spmv(
         io_retries=fault_counts["io_retries"],
         faults_injected=fault_counts["faults_injected"],
         task_reexecutions=fault_counts["task_reexecutions"],
+        nodes_lost=fault_counts["nodes_lost"],
+        blocks_reconstructed=fault_counts["blocks_reconstructed"],
+        checkpoint_writes=fault_counts["checkpoint_writes"],
     )
     if trace_sink is not None:
         trace_sink.append(trace)

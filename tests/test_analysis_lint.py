@@ -176,6 +176,66 @@ def test_dooc004_vocabulary_event_is_clean():
 # -- DOOC000 + framework -----------------------------------------------------
 
 
+# -- DOOC005: non-atomic durable writes --------------------------------------
+
+
+def test_dooc005_bare_open_on_ckpt_flags():
+    src = (
+        "def save(path, data):\n"
+        "    with open(str(path) + '.ckpt', 'wb') as fh:\n"
+        "        fh.write(data)\n"
+    )
+    assert codes(lint_source(src, select=["DOOC005"])) == [("DOOC005", 2, 9)]
+
+
+def test_dooc005_write_bytes_on_blk_flags():
+    src = (
+        "from pathlib import Path\n"
+        "def save(path, data):\n"
+        "    Path(str(path) + '.blk').write_bytes(data)\n"
+    )
+    assert codes(lint_source(src, select=["DOOC005"])) == [("DOOC005", 3, 4)]
+
+
+def test_dooc005_reads_and_nondurable_writes_are_clean():
+    src = (
+        "from pathlib import Path\n"
+        "def roundtrip(path, data):\n"
+        "    with open(str(path) + '.ckpt', 'rb') as fh:\n"
+        "        old = fh.read()\n"
+        "    Path('notes.txt').write_text('hi')\n"
+        "    return old\n"
+    )
+    assert lint_source(src, select=["DOOC005"]) == []
+
+
+def test_dooc005_atomic_write_implementation_is_exempt():
+    src = (
+        "import os, tempfile\n"
+        "def atomic_write(path, data):\n"
+        "    fd, tmp = tempfile.mkstemp(dir='.')\n"
+        "    with os.fdopen(fd, 'wb') as fh:\n"
+        "        fh.write(data)\n"
+        "        os.fsync(fh.fileno())\n"
+        "    os.replace(tmp, str(path) + '.blk')\n"
+    )
+    assert lint_source(src, select=["DOOC005"]) == []
+
+
+def test_dooc005_relaxed_under_tests_dir(tmp_path):
+    torn = (
+        "def torn(path):\n"
+        "    with open(str(path) + '.blk', 'wb') as fh:\n"
+        "        fh.write(b'half')\n"
+    )
+    test_file = tmp_path / "tests" / "test_torn.py"
+    test_file.parent.mkdir()
+    test_file.write_text(torn)
+    assert lint_file(test_file) == []  # crash-injection tests tear on purpose
+    assert codes(lint_file(test_file, strict=True)) == [("DOOC005", 2, 9)]
+    assert "DOOC005" in DEFAULT_PATH_RELAXATIONS["tests"]
+
+
 def test_unparseable_file_reports_dooc000():
     vs = lint_source("def broken(:\n")
     assert [v.code for v in vs] == ["DOOC000"]
@@ -221,7 +281,8 @@ def test_unknown_code_rejected():
 
 
 def test_registry_has_the_documented_rules():
-    assert set(RULES) == {"DOOC001", "DOOC002", "DOOC003", "DOOC004"}
+    assert set(RULES) == {"DOOC001", "DOOC002", "DOOC003", "DOOC004",
+                          "DOOC005"}
 
 
 def test_violation_render_and_json_roundtrip():
