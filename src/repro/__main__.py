@@ -6,6 +6,8 @@
     python -m repro all --quick
     python -m repro trace run.trace.jsonl -o run.json
     python -m repro lint src tests
+    python -m repro bench --quick
+    python -m repro bench --check --tolerance 25
 """
 
 from __future__ import annotations
@@ -27,6 +29,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "lint":
         from repro.analysis.cli import main as lint_main
         return lint_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.bench.cli import main as bench_main
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures of Zhou et al., ICPP 2012.",

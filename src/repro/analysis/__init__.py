@@ -36,6 +36,7 @@ __all__ = [
     "LockOrderViolation",
     "TicketAuditor",
     "TicketLeakError",
+    "WritableReadViewError",
     "validate_tasks",
     "DagValidationError",
 ]
@@ -57,6 +58,7 @@ _LAZY = {
     "LockOrderViolation": "repro.analysis.lockorder",
     "TicketAuditor": "repro.analysis.tickets",
     "TicketLeakError": "repro.analysis.tickets",
+    "WritableReadViewError": "repro.analysis.tickets",
     "validate_tasks": "repro.analysis.dagcheck",
     "DagValidationError": "repro.analysis.dagcheck",
 }

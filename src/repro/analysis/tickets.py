@@ -13,6 +13,11 @@ teardown :meth:`assert_clean` raises :class:`TicketLeakError` naming
 every still-outstanding ticket — id, node, array interval, permission and
 tag — so the leak is attributed at the run that introduced it instead of
 the soak that hit the wall.
+
+The auditor also asserts the zero-copy data-plane invariant at grant
+time: a read grant must hand out a *non-writable* view
+(:class:`WritableReadViewError` otherwise) — the property that makes
+serving blocks to tasks and peers without defensive copies safe.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:
     from repro.core.storage import Ticket
 
-__all__ = ["TicketAuditor", "TicketLeakError"]
+__all__ = ["TicketAuditor", "TicketLeakError", "WritableReadViewError"]
 
 
 class TicketLeakError(AssertionError):
@@ -32,6 +37,10 @@ class TicketLeakError(AssertionError):
     def __init__(self, message: str, leaked: list[Ticket]):
         super().__init__(message)
         self.leaked = leaked
+
+
+class WritableReadViewError(AssertionError):
+    """A read grant handed out a writable view (zero-copy unsound)."""
 
 
 def _describe(node: str, ticket: Ticket) -> str:
@@ -55,6 +64,15 @@ class TicketAuditor:
     # -- hooks called by LocalStore ---------------------------------------
 
     def note_granted(self, node: str, ticket: Ticket) -> None:
+        perm = getattr(ticket.permission, "value", ticket.permission)
+        data = ticket.data
+        if (perm == "read" and data is not None
+                and getattr(data, "flags", None) is not None
+                and data.flags.writeable):
+            raise WritableReadViewError(
+                f"{_describe(str(node), ticket)} granted a WRITABLE read "
+                "view — readers could mutate a sealed block shared "
+                "zero-copy with other tasks and peers")
         with self._lock:
             self._outstanding[ticket.tid] = (node, ticket)
             self.granted_total += 1

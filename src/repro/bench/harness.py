@@ -1,0 +1,322 @@
+"""Pinned iterated-SpMV benchmark workloads and regression checking.
+
+The harness exists to answer two questions, repeatably:
+
+* *How fast is the data plane right now?*  ``run_suite`` executes a
+  pinned workload matrix — in-core, out-of-core, faulty — through the
+  real threaded engine and reduces each run to a flat metrics dict
+  (wall time, tasks/s, bytes copied, operand-cache hit rate, per-phase
+  time from the Tracer) plus a bit-identity verdict against the blocked
+  SciPy reference.
+
+* *Did a change regress it?*  ``check_regression`` compares a fresh
+  report against the committed ``BENCH_baseline.json``: a wall-time
+  increase beyond the tolerance, **any** bytes-copied increase, or a
+  lost bit-identity fails the check (that is the CI gate).
+
+Workloads are pinned: matrix structure, seeds, node counts, memory
+budgets and fault plans are fixed constants, so two runs of the same
+build measure the same computation.  ``DOOC_DATA_PLANE=legacy`` (or
+``run_suite(plane="legacy")``) measures the pre-zero-copy data plane —
+per-load and per-serve defensive copies, operand cache off, the old
+2-workers-per-node default — which is how ``BENCH_PR5.json``'s
+before/after comparison is produced on a single build.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import DOoCEngine
+from repro.core.opcache import DATA_PLANE_ENV
+from repro.obs import Tracer, export_chrome_trace
+
+#: report schema identifier; bump on incompatible field changes
+SCHEMA = "dooc-bench/1"
+
+#: pre-change worker default, used for ``plane="legacy"`` runs so the
+#: baseline measures the configuration that shipped before the zero-copy
+#: data plane (2 workers per node, copies on, cache off)
+LEGACY_WORKERS = 2
+
+#: trace-phase spans aggregated into the per-workload breakdown
+_PHASES = (
+    ("task", "task"),
+    ("task", "grant_wait"),
+    ("storage", "load"),
+    ("storage", "spill"),
+    ("storage", "fetch_remote"),
+    ("io", "read"),
+    ("io", "write"),
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One pinned benchmark configuration (fully deterministic)."""
+
+    name: str
+    n: int                   #: global matrix dimension
+    k: int                   #: K x K sub-matrix grid
+    nnz_per_row: float       #: target nonzeros per row of each sub-matrix
+    iterations: int          #: SpMV iterations
+    n_nodes: int
+    memory_budget: int       #: bytes per node
+    policy: str = "simple"
+    fault_seed: int | None = None  #: arm the deterministic fault plan?
+    opcache_bytes: int | None = None  #: None = engine default (budget/4)
+    seed: int = 20120910     #: matrix/vector generator seed (ICPP 2012)
+
+    def config(self) -> dict:
+        return asdict(self)
+
+
+def pinned_workloads(*, quick: bool) -> list[Workload]:
+    """The benchmark matrix.  ``quick`` is the CI-sized variant.
+
+    ``out_of_core`` is *the* acceptance workload: disk-seeded sub-matrix
+    files streamed through a bounded memory budget, dense enough that the
+    per-task CSR decode (what the operand cache amortizes) dominates the
+    SpMV kernel — the regime the paper's overlap argument targets.
+    """
+    if quick:
+        return [
+            Workload("in_core", n=1536, k=2, nnz_per_row=16.0,
+                     iterations=10, n_nodes=1, memory_budget=64 * 2**20),
+            Workload("out_of_core", n=16384, k=2, nnz_per_row=512.0,
+                     iterations=8, n_nodes=2, memory_budget=192 * 2**20,
+                     opcache_bytes=256 * 2**20),
+            Workload("faulty", n=1536, k=2, nnz_per_row=16.0,
+                     iterations=6, n_nodes=2, memory_budget=64 * 2**20,
+                     fault_seed=0),
+        ]
+    return [
+        Workload("in_core", n=6144, k=3, nnz_per_row=24.0,
+                 iterations=12, n_nodes=1, memory_budget=256 * 2**20),
+        Workload("out_of_core", n=16384, k=2, nnz_per_row=512.0,
+                 iterations=16, n_nodes=2, memory_budget=192 * 2**20,
+                 opcache_bytes=256 * 2**20),
+        Workload("faulty", n=6144, k=3, nnz_per_row=24.0,
+                 iterations=8, n_nodes=2, memory_budget=256 * 2**20,
+                 fault_seed=0),
+    ]
+
+
+@contextmanager
+def _data_plane(plane: str):
+    """Temporarily select the data plane via the environment knob."""
+    if plane not in ("zerocopy", "legacy"):
+        raise ValueError(f"unknown data plane {plane!r}")
+    old = os.environ.get(DATA_PLANE_ENV)
+    try:
+        if plane == "legacy":
+            os.environ[DATA_PLANE_ENV] = "legacy"
+        else:
+            os.environ.pop(DATA_PLANE_ENV, None)
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(DATA_PLANE_ENV, None)
+        else:
+            os.environ[DATA_PLANE_ENV] = old
+
+
+def _build_inputs(w: Workload):
+    """The pinned sub-matrix grid and initial vector for ``w``."""
+    from repro.spmv.generator import choose_gap_parameter, gap_uniform_csr
+    from repro.spmv.partition import GridPartition
+
+    partition = GridPartition(w.n, w.k)
+    rng = np.random.default_rng(w.seed)
+    blocks = {}
+    for u in range(w.k):
+        for v in range(w.k):
+            nrows = partition.part_length(u)
+            ncols = partition.part_length(v)
+            d = choose_gap_parameter(ncols, w.nnz_per_row)
+            blocks[(u, v)] = gap_uniform_csr(nrows, ncols, d, rng)
+    x0 = rng.uniform(-1.0, 1.0, size=w.n)
+    x0_parts = partition.split_vector(x0)
+    return blocks, x0_parts, partition, x0
+
+
+def _sum_metric(metrics: dict, name: str) -> int:
+    return int(sum(per.get(name, 0) for per in metrics.values()))
+
+
+def _phase_breakdown(events) -> dict[str, float]:
+    out = {name: 0.0 for _, name in _PHASES}
+    wanted = set(_PHASES)
+    for e in events:
+        if e.ph == "X" and (e.cat, e.name) in wanted:
+            out[e.name] += e.dur
+    return {k: round(v, 6) for k, v in sorted(out.items())}
+
+
+def run_workload(w: Workload, *, trace_path: str | Path | None = None,
+                 workers: int | None = None, repeats: int = 2) -> dict:
+    """Execute one pinned workload; returns its flat metrics dict.
+
+    The workload runs ``repeats`` times and the best (minimum-wall) run
+    is reported — the standard noise reduction for wall-clock numbers;
+    the protocol counters are deterministic across repeats.
+    ``trace_path`` additionally exports the best run's Chrome trace.
+    ``workers`` overrides the engine's worker count (used by the legacy
+    plane to reproduce the pre-change 2-worker default).
+    """
+    from repro.faults import FaultPlan
+    from repro.spmv.program import build_iterated_spmv, x_name
+    from repro.spmv.reference import iterated_spmv_blocked_reference
+
+    blocks, x0_parts, partition, x0 = _build_inputs(w)
+    faults = None
+    if w.fault_seed is not None:
+        faults = FaultPlan(seed=w.fault_seed, io_transient=0.05,
+                           peer_drop=0.02, task_crash=0.02)
+    best = None
+    for _ in range(max(repeats, 1)):
+        built = build_iterated_spmv(
+            blocks, x0_parts, w.iterations,
+            n_nodes=w.n_nodes, policy=w.policy)
+        tracer = Tracer(enabled=True, capacity=1 << 18)
+        eng = DOoCEngine(
+            n_nodes=w.n_nodes,
+            workers=workers,
+            memory_budget_per_node=w.memory_budget,
+            opcache_bytes=w.opcache_bytes,
+            trace=tracer,
+            faults=faults,
+        )
+        try:
+            report = eng.run(built.program, timeout=300.0)
+            parts = {u: eng.fetch(x_name(w.iterations, u))
+                     for u in range(partition.k)}
+        finally:
+            eng.cleanup()
+        if best is None or report.wall_seconds < best[0].wall_seconds:
+            best = (report, parts, eng.workers_per_node,
+                    len(built.program.tasks))
+    report, parts, engine_workers, tasks = best
+    got = partition.join_vector(parts)
+    want = iterated_spmv_blocked_reference(blocks, partition, x0, w.iterations)
+    events = report.trace_events
+    if trace_path is not None:
+        export_chrome_trace(events, trace_path)
+    wall = report.wall_seconds
+    metrics = report.metrics
+    hits = _sum_metric(metrics, "opcache_hits")
+    misses = _sum_metric(metrics, "opcache_misses")
+    bytes_copied = _sum_metric(metrics, "bytes_copied")
+    return {
+        "config": w.config(),
+        "workers": engine_workers,
+        "wall_seconds": round(wall, 6),
+        "tasks": tasks,
+        "tasks_per_second": round(tasks / wall, 3) if wall > 0 else 0.0,
+        "bytes_copied": bytes_copied,
+        "bytes_copied_per_task": round(bytes_copied / tasks, 1),
+        "opcache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / (hits + misses), 4) if hits + misses else 0.0,
+        },
+        "loads": _sum_metric(metrics, "loads"),
+        "spills": _sum_metric(metrics, "spills"),
+        "io_retries": _sum_metric(metrics, "io_retries"),
+        "task_reexecutions": _sum_metric(metrics, "task_reexecutions"),
+        "phases": _phase_breakdown(events),
+        "bit_identical": bool(np.array_equal(got, want)),
+        "max_abs_err": float(np.max(np.abs(got - want))) if len(got) else 0.0,
+    }
+
+
+def run_suite(*, quick: bool = False, tag: str = "dev",
+              plane: str = "zerocopy",
+              trace_path: str | Path | None = None) -> dict:
+    """Run the whole pinned matrix; returns the report dict.
+
+    ``plane="legacy"`` measures the pre-change data plane (defensive
+    copies, no operand cache, 2 workers per node) on the same build.
+    ``trace_path`` exports the out-of-core workload's Chrome trace.
+    """
+    workers = LEGACY_WORKERS if plane == "legacy" else None
+    workloads = {}
+    with _data_plane(plane):
+        for w in pinned_workloads(quick=quick):
+            wl_trace = trace_path if w.name == "out_of_core" else None
+            workloads[w.name] = run_workload(
+                w, trace_path=wl_trace, workers=workers)
+    total_wall = sum(r["wall_seconds"] for r in workloads.values())
+    total_tasks = sum(r["tasks"] for r in workloads.values())
+    return {
+        "schema": SCHEMA,
+        "tag": tag,
+        "mode": "quick" if quick else "full",
+        "data_plane": plane,
+        "workloads": workloads,
+        "totals": {
+            "wall_seconds": round(total_wall, 6),
+            "tasks": total_tasks,
+            "tasks_per_second": (round(total_tasks / total_wall, 3)
+                                 if total_wall > 0 else 0.0),
+            "bytes_copied": sum(r["bytes_copied"] for r in workloads.values()),
+        },
+    }
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    report = json.loads(Path(path).read_text())
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: schema {report.get('schema')!r}, expected {SCHEMA!r} "
+            "(refresh the baseline: python -m repro bench --quick --tag baseline)")
+    return report
+
+
+def check_regression(current: dict, baseline: dict,
+                     *, tolerance_pct: float = 25.0) -> list[str]:
+    """Compare a fresh report against the committed baseline.
+
+    Returns failure strings (empty = pass): a per-workload wall-time
+    increase beyond ``tolerance_pct``, **any** bytes-copied increase
+    (those copies are deterministic, so an increase is a code change,
+    not noise), or a lost bit-identity.
+    """
+    failures: list[str] = []
+    if current.get("mode") != baseline.get("mode"):
+        failures.append(
+            f"mode mismatch: current {current.get('mode')!r} vs baseline "
+            f"{baseline.get('mode')!r} — compare like with like")
+        return failures
+    base_wl = baseline.get("workloads", {})
+    cur_wl = current.get("workloads", {})
+    for name, base in sorted(base_wl.items()):
+        cur = cur_wl.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from the current report")
+            continue
+        b_wall, c_wall = base["wall_seconds"], cur["wall_seconds"]
+        if b_wall > 0 and c_wall > b_wall * (1.0 + tolerance_pct / 100.0):
+            failures.append(
+                f"{name}: wall time regressed {c_wall:.3f}s vs "
+                f"{b_wall:.3f}s baseline (>{tolerance_pct:.0f}% tolerance)")
+        if cur["bytes_copied"] > base["bytes_copied"]:
+            failures.append(
+                f"{name}: bytes_copied increased {cur['bytes_copied']} vs "
+                f"{base['bytes_copied']} baseline (any increase fails)")
+        if not cur.get("bit_identical", False):
+            failures.append(f"{name}: result no longer bit-identical to the "
+                            "SciPy reference")
+    return failures

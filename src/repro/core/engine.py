@@ -25,6 +25,7 @@ every protocol path of the paper executes, just without a physical wire.
 
 from __future__ import annotations
 
+import os
 import shutil
 import tempfile
 import time
@@ -56,6 +57,12 @@ from repro.core.interval import (
 )
 from repro.core.iofilter import IOFilter, read_block, write_array
 from repro.core.local_scheduler import LocalSchedulerCore
+from repro.core.opcache import (
+    OPERAND_CONTEXT_KEY,
+    DecodedOperandCache,
+    OperandContext,
+    legacy_copy_plane,
+)
 from repro.core.storage import Effect, LocalStore, StoreStats, Ticket
 from repro.core.task import TaskSpec
 from repro.datacutter.buffers import END_OF_STREAM, DataBuffer
@@ -220,6 +227,10 @@ class _StorageFilter(Filter):
         self.descs = descs
         self.tracer = tracer or Tracer(enabled=False)
         self.injector = injector
+        #: DOOC_DATA_PLANE=legacy restores the per-serve defensive copy
+        #: (for A/B benchmarking); the zero-copy plane serves the sealed
+        #: block's read-only view directly.
+        self.legacy_copies = legacy_copy_plane()
         self.outputs = ("rep_workers", "rep_lsched", "io_cmd") + tuple(
             f"peer_out_{j}" for j in range(n_nodes) if j != node
         )
@@ -280,11 +291,19 @@ class _StorageFilter(Filter):
         elif kind == "peer":
             ticket: Ticket = payload["ticket"]
             iv = ticket.interval
+            # Zero-copy serve: the granted view is read-only and the block
+            # is sealed (write-once), so the peer may share the memory; it
+            # stays alive through numpy's base reference even if this node
+            # reclaims the buffer afterwards.
+            data = np.asarray(ticket.data)
+            if self.legacy_copies:
+                self.store.metrics.inc("bytes_copied", int(data.nbytes))
+                data = data.copy()
             self._peer_write(ctx, tag[1], {
                 "op": "blockdata",
                 "array": iv.array,
                 "block": iv.block,
-                "data": np.asarray(ticket.data).copy(),
+                "data": data,
             })
             # Served: release our local pin immediately.
             self._execute(ctx, self.store.release(ticket))
@@ -780,11 +799,21 @@ class _WorkerFilter(Filter):
 
     def __init__(self, node: int, descs: dict[str, ArrayDesc],
                  tracer: Tracer | None = None,
-                 injector: FaultInjector | None = None):
+                 injector: FaultInjector | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 opcache: DecodedOperandCache | None = None):
         self.node = node
         self.descs = descs
         self.tracer = tracer or Tracer(enabled=False)
         self.injector = injector
+        self.metrics = metrics
+        #: node-shared decoded-operand cache (None = disabled); handed to
+        #: task bodies through the OperandContext in ``meta``
+        self.opcache = opcache
+
+    def _inc(self, name: str, n: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, n)
 
     # -- storage round-trips ----------------------------------------------------
 
@@ -853,7 +882,11 @@ class _WorkerFilter(Filter):
         if len(tickets) == 1:
             return tickets[0].data
         # Multi-block arrays are reassembled with a copy — "trading
-        # performance for semantic simplicity".
+        # performance for semantic simplicity".  This (and the scatter
+        # temp below) are the only deterministic copies left on the data
+        # plane, so ``bytes_copied`` counts exactly them and CI can treat
+        # any increase as a regression.
+        self._inc("bytes_copied", sum(int(t.data.nbytes) for t in tickets))
         return np.concatenate([t.data for t in tickets])
 
     def _run_task(self, ctx: FilterContext, task: TaskSpec,
@@ -894,10 +927,21 @@ class _WorkerFilter(Filter):
                     f"on node {self.node}")
             inputs = {a: self._gather_input(ts)
                       for a, ts in read_tickets.items()}
-            task.fn(inputs, out_buffers, task.meta)
+            meta = task.meta
+            if self.opcache is not None:
+                # Hand the task body the node's operand cache plus the
+                # seal generations of its read grants (the freshness proof
+                # for cache keys) — without changing the fn signature.
+                meta = dict(meta)
+                meta[OPERAND_CONTEXT_KEY] = OperandContext(
+                    self.opcache,
+                    {a: tuple(t.generation for t in ts)
+                     for a, ts in read_tickets.items()})
+            task.fn(inputs, out_buffers, meta)
             for array, temp in scatter:
                 desc = self.descs[array]
                 lo, _ = out_ranges.get(array, (0, desc.length))
+                self._inc("bytes_copied", int(temp.nbytes))
                 for t in write_tickets[array]:
                     t.data[:] = temp[t.interval.lo - lo: t.interval.hi - lo]
             held.clear()  # from here the normal releases own every ticket
@@ -1616,6 +1660,13 @@ class RunReport:
         return export_chrome_trace(self.trace_events, path)
 
 
+def default_worker_count() -> int:
+    """Worker filters per node when the caller doesn't say: cpu-aware,
+    but never fewer than 2 (compute/copy overlap needs at least two) and
+    never more than 8 (beyond that, GIL'd glue code dominates)."""
+    return max(2, min(8, os.cpu_count() or 2))
+
+
 class DOoCEngine:
     """Out-of-core, multi-node (threaded) execution of DOoC programs."""
 
@@ -1623,9 +1674,11 @@ class DOoCEngine:
         self,
         *,
         n_nodes: int = 1,
-        workers_per_node: int = 2,
+        workers_per_node: int | None = None,
+        workers: int | None = None,
         io_filters_per_node: int = 1,
         memory_budget_per_node: int = 256 * 2**20,
+        opcache_bytes: int | None = None,
         scratch_dir: str | Path | None = None,
         prefetch_depth: int = 2,
         rng_seed: int = 0,
@@ -1641,6 +1694,14 @@ class DOoCEngine:
         membership: MembershipConfig | bool | None = None,
         node_recovery: bool = True,
     ):
+        if workers is not None and workers_per_node is not None:
+            raise DoocError("pass either workers= or workers_per_node=, not both")
+        if workers_per_node is None:
+            # cpu_count-aware default: SpMV kernels release the GIL inside
+            # scipy, so distinct ready tasks genuinely overlap; capped so a
+            # many-core box doesn't drown a small run in idle threads.
+            workers_per_node = (workers if workers is not None
+                                else default_worker_count())
         if n_nodes < 1 or workers_per_node < 1 or io_filters_per_node < 1:
             raise DoocError("n_nodes, workers and I/O filters must be >= 1")
         if task_max_attempts < 1:
@@ -1649,6 +1710,14 @@ class DOoCEngine:
         self.workers_per_node = workers_per_node
         self.io_filters_per_node = io_filters_per_node
         self.memory_budget_per_node = memory_budget_per_node
+        #: decoded-operand cache budget per node (0 disables; None = a
+        #: quarter of the memory budget).  The legacy data plane
+        #: (DOOC_DATA_PLANE=legacy) force-disables the cache.
+        if opcache_bytes is None:
+            opcache_bytes = memory_budget_per_node // 4
+        if opcache_bytes < 0:
+            raise DoocError("opcache_bytes must be >= 0")
+        self.opcache_bytes = 0 if legacy_copy_plane() else int(opcache_bytes)
         self.prefetch_depth = prefetch_depth
         self.gc_arrays = gc_arrays
         self.scheduler_reorder = scheduler_reorder
@@ -1799,6 +1868,9 @@ class DOoCEngine:
                 elif name in consumed_here:
                     store.register_remote(desc)
             store.auditor = auditor
+            if self.opcache_bytes > 0:
+                store.opcache = DecodedOperandCache(
+                    self.opcache_bytes, metrics=store.metrics)
             self.stores[node] = store
             directories[node] = DirectoryClient(
                 node, self.n_nodes, self.rng.child("directory", node))
@@ -1982,8 +2054,10 @@ class DOoCEngine:
             )
             layout.add_filter(
                 f"worker@{node}",
-                lambda node=node, injector=injector: _WorkerFilter(
-                    node, self._descs, self.tracer, injector=injector),
+                lambda node=node, store=store,
+                injector=injector: _WorkerFilter(
+                    node, self._descs, self.tracer, injector=injector,
+                    metrics=store.metrics, opcache=store.opcache),
                 instances=self.workers_per_node,
                 replicable=True,
             )

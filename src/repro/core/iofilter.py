@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.array import ArrayDesc
 from repro.core.errors import StorageError
+from repro.core.opcache import legacy_copy_plane
 from repro.datacutter.buffers import END_OF_STREAM, DataBuffer
 from repro.datacutter.filters import Filter, FilterContext
 from repro.faults import FaultInjector, InjectedIOError, RetryPolicy
@@ -88,7 +89,14 @@ def write_block(scratch: Path, desc: ArrayDesc, block: int, data: np.ndarray) ->
 
 
 def read_block(scratch: Path, desc: ArrayDesc, block: int) -> np.ndarray:
-    """Load one block from its offset."""
+    """Load one block from its offset — zero-copy.
+
+    The returned array is a non-writable view over the read buffer (the
+    ``bytes`` object owns the memory): no ``frombuffer(...).copy()``
+    round-trip.  Blocks entering the store through this path are sealed
+    under write-once, so a read-only buffer is exactly the invariant the
+    rest of the data plane wants to hand out.
+    """
     path = array_path(scratch, desc.name)
     length = desc.block_length(block)
     with open(path, "rb") as fh:
@@ -98,7 +106,9 @@ def read_block(scratch: Path, desc: ArrayDesc, block: int) -> np.ndarray:
         raise StorageError(
             f"short read of block {block} of {desc.name!r} from {path}"
         )
-    return np.frombuffer(raw, dtype=desc.dtype).copy()
+    data = np.frombuffer(raw, dtype=desc.dtype)
+    data.flags.writeable = False  # already immutable; assert the invariant
+    return data
 
 
 def write_array(scratch: Path, desc: ArrayDesc, data: np.ndarray) -> None:
@@ -166,11 +176,14 @@ class IOFilter(Filter):
         self.retry = retry if retry is not None else RetryPolicy()
         self.injector = injector
         self.metrics = metrics
+        #: DOOC_DATA_PLANE=legacy restores the pre-zero-copy load path
+        #: (defensive copy per block) for A/B benchmarking
+        self.legacy_copies = legacy_copy_plane()
         self._jitter_rng = random.Random(node * 2654435761 + 17)
 
-    def _inc(self, name: str) -> None:
+    def _inc(self, name: str, n: int = 1) -> None:
         if self.metrics is not None:
-            self.metrics.inc(name)
+            self.metrics.inc(name, n)
 
     def _attempt(self, fn, op: str, desc: ArrayDesc, block: int, lane: str):
         """Run ``fn`` with fault injection and retry/backoff.
@@ -225,6 +238,9 @@ class IOFilter(Filter):
                     lambda: read_block(self.scratch, desc, block),
                     op, desc, block, lane)
                 if error is None:
+                    if self.legacy_copies:
+                        self._inc("bytes_copied", int(data.nbytes))
+                        data = data.copy()
                     tracer.complete(self.node, lane, "io", "read", start,
                                     array=desc.name, block=block)
                     ctx.write("out", DataBuffer(

@@ -72,6 +72,10 @@ class Ticket:
     released: bool = False
     data: np.ndarray | None = None  # view into the block, set at grant
     tag: Any = None  # opaque driver correlation slot
+    #: the block's seal generation at grant time (read grants only):
+    #: cache keys derived from this view stay valid exactly as long as
+    #: the backing buffer does (see repro.core.opcache)
+    generation: int = 0
 
 
 @dataclass
@@ -138,6 +142,9 @@ class _BlockState:
     writers: int = 0
     lru: int = 0
     read_waiters: list[Ticket] = field(default_factory=list)
+    #: bumped whenever the in-memory buffer is reclaimed; decoded-operand
+    #: cache entries are keyed on it so they can never outlive the bytes
+    generation: int = 0
 
     @property
     def nbytes(self) -> int:
@@ -192,6 +199,11 @@ class LocalStore:
         #: reported so leaks can be named at teardown.  ``None`` in
         #: production — the hooks cost a single attribute test.
         self.auditor: Any = None
+        #: Optional :class:`repro.core.opcache.DecodedOperandCache` shared
+        #: by this node's workers; when set, every buffer reclaim
+        #: (``_free``) and array deletion invalidates the entries decoded
+        #: from those bytes.  ``None`` when the cache is disabled.
+        self.opcache: Any = None
 
     @property
     def stats(self) -> StoreStats:
@@ -254,6 +266,8 @@ class LocalStore:
             del self._blocks[(name, st.block)]
         del self.arrays[name]
         self._remote_arrays.discard(name)
+        if self.opcache is not None:
+            self.opcache.invalidate(name)
         effects.extend(self._pump_allocs())
         return effects
 
@@ -332,6 +346,11 @@ class LocalStore:
                 # dead key per written block for the life of the store.
                 del self._write_tickets[key]
             st.add_written(iv.lo, iv.hi)
+            if st.sealed and st.data is not None:
+                # Fully written + released: write-once makes the buffer
+                # immutable from here on — freeze it so zero-copy read
+                # views (and peer serves of them) are provably safe.
+                st.data.flags.writeable = False
             effects.extend(self._wake_readers(st))
         effects.extend(self._pump_allocs())
         return effects
@@ -729,6 +748,7 @@ class LocalStore:
         view = st.data[ticket.interval.local_slice(st.desc)]
         view.flags.writeable = False
         ticket.data = view
+        ticket.generation = st.generation
         ticket.granted = True
         st.readers += 1
         if self.auditor is not None:
@@ -772,6 +792,10 @@ class LocalStore:
                 f"driver delivered shape {data.shape} for block of length {expected}"
             )
         st.data = np.ascontiguousarray(data, dtype=st.desc.dtype)
+        # Loaded/fetched blocks are sealed: freeze the buffer so every view
+        # handed out of it is provably immutable (no-op when the driver
+        # delivered a zero-copy read-only view already).
+        st.data.flags.writeable = False
         st.status = _RESIDENT
         st.sealed = True
         st.written = [st.desc.block_bounds(st.block)]
@@ -780,6 +804,12 @@ class LocalStore:
         assert st.data is not None
         self.in_use -= st.nbytes
         st.data = None
+        # The buffer is gone: bump the seal generation so cache keys minted
+        # from the old grants can never match again, and proactively drop
+        # any decoded operands that were built over those bytes.
+        st.generation += 1
+        if self.opcache is not None:
+            self.opcache.invalidate(st.desc.name, st.block)
 
     def _alloc_then(self, st: _BlockState, thunk, *, prefetch: bool = False) -> list[Effect]:
         """Run ``thunk`` once ``st``'s block fits in memory.

@@ -33,7 +33,8 @@ class OutOfCoreMatrix:
         blocks: dict[tuple[int, int], CSRBlock],
         *,
         n_nodes: int = 1,
-        workers_per_node: int = 2,
+        workers_per_node: int | None = None,
+        workers: int | None = None,
         memory_budget_per_node: int = 256 * 2**20,
         scratch_dir: str | Path | None = None,
         policy: str = "interleaved",
@@ -60,6 +61,7 @@ class OutOfCoreMatrix:
         self.engine = DOoCEngine(
             n_nodes=n_nodes,
             workers_per_node=workers_per_node,
+            workers=workers,
             memory_budget_per_node=memory_budget_per_node,
             scratch_dir=scratch_dir,
             rng_seed=rng_seed,

@@ -1,0 +1,243 @@
+"""Zero-copy data-plane invariants: frozen views, generations, planes.
+
+The zero-copy plane is only sound because of a chain of invariants —
+sealed buffers are frozen, read grants hand out non-writable views,
+seal generations fence the decoded-operand cache, and the ticket
+auditor rejects any writable read view.  Each link is pinned here, plus
+the ``DOOC_DATA_PLANE=legacy`` escape hatch that restores the old
+copying behavior for A/B benchmarking.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import TicketAuditor, WritableReadViewError
+from repro.core.array import ArrayDesc
+from repro.core.engine import DOoCEngine, default_worker_count
+from repro.core.errors import DoocError
+from repro.core.interval import Interval, whole_array, whole_block
+from repro.core.iofilter import read_block, write_block
+from repro.core.opcache import DATA_PLANE_ENV, DecodedOperandCache
+from repro.core.storage import LocalStore, Permission, Ticket
+from repro.spmv.generator import choose_gap_parameter, gap_uniform_csr
+from repro.spmv.partition import GridPartition
+from repro.spmv.program import build_iterated_spmv
+from repro.spmv.reference import iterated_spmv_reference
+
+
+def desc(name="a", length=100, block=50, dtype="float64"):
+    return ArrayDesc(name, length=length, block_elems=block, dtype=dtype)
+
+
+def effects_of_kind(effects, kind):
+    return [e for e in effects if e.kind == kind]
+
+
+def write_whole_array(store, d, value_fn=lambda i: float(i)):
+    """Write and release every block of d, serving spills synchronously."""
+    for iv in whole_array(d):
+        ticket, effects = store.request_write(iv)
+        while not ticket.granted:
+            spills = effects_of_kind(effects, "spill")
+            assert spills, "write grant is stuck without a pending spill"
+            effects = [
+                e
+                for s in spills
+                for e in store.on_spilled(s.array, s.block)
+            ]
+        ticket.data[:] = [value_fn(i) for i in range(iv.lo, iv.hi)]
+        store.release(ticket)
+
+
+class TestFrozenBuffers:
+    def test_sealed_buffer_is_frozen_and_read_views_inherit(self):
+        d = desc()
+        store = LocalStore(0, memory_budget=10**6)
+        store.create_array(d)
+        write_whole_array(store, d)
+        st = store._blocks[("a", 0)]
+        assert not st.data.flags.writeable
+        ticket, effects = store.request_read(whole_block(d, 0))
+        assert effects_of_kind(effects, "grant_read")
+        assert not ticket.data.flags.writeable
+        with pytest.raises(ValueError):
+            ticket.data[0] = 99.0
+        store.release(ticket)
+
+    def test_loaded_block_is_frozen(self):
+        # Budget fits one 400 B block: writing block 1 spills block 0,
+        # and reading block 0 back spills block 1 then loads from
+        # "disk".  The reloaded buffer must come back frozen too.
+        d = desc(length=100, block=50)
+        store = LocalStore(0, memory_budget=500)
+        store.create_array(d)
+        write_whole_array(store, d)
+        ticket, effects = store.request_read(whole_block(d, 0))
+        for _ in range(10):
+            if ticket.granted:
+                break
+            nxt = []
+            for e in effects:
+                if e.kind == "spill":
+                    nxt.extend(store.on_spilled(e.array, e.block))
+                elif e.kind == "load":
+                    nxt.extend(store.on_loaded(
+                        e.array, e.block, np.arange(50, dtype=np.float64)))
+            effects = nxt
+        assert ticket.granted
+        assert not ticket.data.flags.writeable
+        store.release(ticket)
+
+    def test_read_block_returns_readonly_view(self, tmp_path):
+        d = desc(length=8, block=8)
+        write_block(tmp_path, d, 0, np.arange(8, dtype=np.float64))
+        out = read_block(tmp_path, d, 0)
+        np.testing.assert_array_equal(out, np.arange(8, dtype=np.float64))
+        assert not out.flags.writeable
+        with pytest.raises(ValueError):
+            out[0] = 1.0
+
+
+class TestSealGenerations:
+    def test_read_tickets_are_stamped_with_the_generation(self):
+        d = desc()
+        store = LocalStore(0, memory_budget=10**6)
+        store.create_array(d)
+        write_whole_array(store, d)
+        ticket, _ = store.request_read(whole_block(d, 0))
+        assert ticket.generation == store._blocks[("a", 0)].generation
+        store.release(ticket)
+
+    def test_reclaim_bumps_generation_and_invalidates_opcache(self):
+        # Budget fits one 400 B block, so writing block 1 spill-drops
+        # block 0: the reclaim must bump its generation and purge any
+        # cache entry decoded from the array.
+        d = desc(length=100, block=50)
+        store = LocalStore(0, memory_budget=500)
+        store.create_array(d)
+        cache = DecodedOperandCache(1 << 20)
+        store.opcache = cache
+        cache.put("a", (0,), "decoded", 16)
+        assert cache.get("a", (0,)) == "decoded"
+        write_whole_array(store, d)
+        assert store._blocks[("a", 0)].generation >= 1
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+        assert cache.get("a", (0,)) is None
+
+    def test_delete_array_invalidates_opcache(self):
+        d = desc(length=50, block=50)
+        store = LocalStore(0, memory_budget=10**6)
+        store.create_array(d)
+        cache = DecodedOperandCache(1 << 20)
+        store.opcache = cache
+        write_whole_array(store, d)
+        cache.put("a", (0,), "decoded", 16)
+        store.delete_array("a")
+        assert len(cache) == 0
+
+
+class TestAuditor:
+    def _read_ticket(self, writable):
+        t = Ticket(1, Interval("a", 0, 0, 4), Permission.READ)
+        data = np.zeros(4)
+        data.flags.writeable = writable
+        t.data = data
+        t.granted = True
+        return t
+
+    def test_writable_read_view_rejected(self):
+        auditor = TicketAuditor()
+        with pytest.raises(WritableReadViewError):
+            auditor.note_granted(0, self._read_ticket(writable=True))
+
+    def test_frozen_read_view_accepted(self):
+        auditor = TicketAuditor()
+        auditor.note_granted(0, self._read_ticket(writable=False))
+        assert auditor.granted_total == 1
+
+    def test_audited_store_round_trip_is_clean(self):
+        d = desc()
+        store = LocalStore(0, memory_budget=10**6)
+        store.auditor = TicketAuditor()
+        store.create_array(d)
+        write_whole_array(store, d)
+        ticket, _ = store.request_read(whole_block(d, 0))
+        store.release(ticket)
+        store.auditor.assert_clean()
+
+
+class TestWorkerPoolConfig:
+    def test_workers_alias_sets_pool_size(self):
+        eng = DOoCEngine(n_nodes=1, workers=3)
+        try:
+            assert eng.workers_per_node == 3
+        finally:
+            eng.cleanup()
+
+    def test_default_is_cpu_aware(self):
+        eng = DOoCEngine(n_nodes=1)
+        try:
+            assert eng.workers_per_node == default_worker_count()
+            assert 2 <= eng.workers_per_node <= 8
+        finally:
+            eng.cleanup()
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(DoocError):
+            DOoCEngine(n_nodes=1, workers=2, workers_per_node=2)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(DoocError):
+            DOoCEngine(n_nodes=1, workers_per_node=0)
+
+    def test_negative_opcache_budget_rejected(self):
+        with pytest.raises(DoocError):
+            DOoCEngine(n_nodes=1, opcache_bytes=-1)
+
+
+def make_problem(n=64, k=2, seed=7, density_per_row=6.0):
+    rng = np.random.default_rng(seed)
+    p = GridPartition(n, k)
+    d = choose_gap_parameter(n, density_per_row)
+    global_m = gap_uniform_csr(n, n, d, rng)
+    return global_m, p, p.split_matrix(global_m), rng.normal(size=n)
+
+
+class TestDataPlanesEndToEnd:
+    """The same two-node SpMV under both planes: copies vs no copies."""
+
+    def _run(self, tmp_path, iterations=3):
+        global_m, p, blocks, x0 = make_problem()
+        result = build_iterated_spmv(
+            blocks, p.split_vector(x0), iterations=iterations, n_nodes=2)
+        eng = DOoCEngine(n_nodes=2, workers_per_node=2, scratch_dir=tmp_path)
+        try:
+            report = eng.run(result.program, timeout=120)
+            got = result.fetch_final(eng)
+        finally:
+            eng.cleanup()
+        want = iterated_spmv_reference(global_m, x0, iterations)
+        np.testing.assert_allclose(got, want, rtol=1e-9)
+        return report
+
+    @staticmethod
+    def _total(report, name):
+        return sum(per.get(name, 0) for per in report.metrics.values())
+
+    def test_zerocopy_plane_copies_nothing_and_caches_decodes(self, tmp_path):
+        report = self._run(tmp_path)
+        # Single-block arrays end to end: loads, peer serves and task
+        # inputs are all served as views, so the deterministic copy
+        # counter stays at zero.
+        assert self._total(report, "bytes_copied") == 0
+        # Each sub-matrix is decoded once, then hit on every later task.
+        assert self._total(report, "opcache_hits") > 0
+
+    def test_legacy_plane_restores_copies_and_disables_cache(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv(DATA_PLANE_ENV, "legacy")
+        report = self._run(tmp_path)
+        assert self._total(report, "bytes_copied") > 0
+        assert self._total(report, "opcache_hits") == 0
+        assert self._total(report, "opcache_misses") == 0
