@@ -43,6 +43,10 @@ def main(argv: list[str] | None = None) -> int:
                         default="zerocopy",
                         help="data plane to measure (legacy = pre-change "
                              "copies, no operand cache, 2 workers/node)")
+    parser.add_argument("--worker-plane", choices=("thread", "process"),
+                        default=None,
+                        help="force every workload onto one worker plane "
+                             "(default: each workload's pinned plane)")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="also export the out-of-core workload's Chrome "
                              "trace to PATH")
@@ -83,7 +87,8 @@ def main(argv: list[str] | None = None) -> int:
                   f"{baseline.get('mode', 'quick')} suite to check against "
                   f"{args.baseline}")
             current = run_suite(quick=baseline.get("mode") != "full",
-                                tag="check", plane=args.plane)
+                                tag="check", plane=args.plane,
+                                worker_plane=args.worker_plane)
         failures = check_regression(current, baseline,
                                     tolerance_pct=args.tolerance)
         if failures:
@@ -96,6 +101,7 @@ def main(argv: list[str] | None = None) -> int:
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     report = run_suite(quick=args.quick, tag=args.tag, plane=args.plane,
+                       worker_plane=args.worker_plane,
                        trace_path=args.trace)
     path = write_report(report, out_dir / f"BENCH_{args.tag}.json")
     totals = report["totals"]

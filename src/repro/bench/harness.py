@@ -28,7 +28,7 @@ from __future__ import annotations
 import json
 import os
 from contextlib import contextmanager
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 
 import numpy as np
@@ -72,6 +72,7 @@ class Workload:
     fault_seed: int | None = None  #: arm the deterministic fault plan?
     opcache_bytes: int | None = None  #: None = engine default (budget/4)
     seed: int = 20120910     #: matrix/vector generator seed (ICPP 2012)
+    worker_plane: str = "thread"  #: "thread" or "process" (GIL-free)
 
     def config(self) -> dict:
         return asdict(self)
@@ -89,6 +90,9 @@ def pinned_workloads(*, quick: bool) -> list[Workload]:
         return [
             Workload("in_core", n=1536, k=2, nnz_per_row=16.0,
                      iterations=10, n_nodes=1, memory_budget=64 * 2**20),
+            Workload("in_core_process", n=1536, k=2, nnz_per_row=16.0,
+                     iterations=10, n_nodes=1, memory_budget=64 * 2**20,
+                     worker_plane="process"),
             Workload("out_of_core", n=16384, k=2, nnz_per_row=512.0,
                      iterations=8, n_nodes=2, memory_budget=192 * 2**20,
                      opcache_bytes=256 * 2**20),
@@ -99,6 +103,9 @@ def pinned_workloads(*, quick: bool) -> list[Workload]:
     return [
         Workload("in_core", n=6144, k=3, nnz_per_row=24.0,
                  iterations=12, n_nodes=1, memory_budget=256 * 2**20),
+        Workload("in_core_process", n=6144, k=3, nnz_per_row=24.0,
+                 iterations=12, n_nodes=1, memory_budget=256 * 2**20,
+                 worker_plane="process"),
         Workload("out_of_core", n=16384, k=2, nnz_per_row=512.0,
                  iterations=16, n_nodes=2, memory_budget=192 * 2**20,
                  opcache_bytes=256 * 2**20),
@@ -192,6 +199,7 @@ def run_workload(w: Workload, *, trace_path: str | Path | None = None,
             opcache_bytes=w.opcache_bytes,
             trace=tracer,
             faults=faults,
+            worker_plane=w.worker_plane,
         )
         try:
             report = eng.run(built.program, timeout=300.0)
@@ -238,17 +246,24 @@ def run_workload(w: Workload, *, trace_path: str | Path | None = None,
 
 def run_suite(*, quick: bool = False, tag: str = "dev",
               plane: str = "zerocopy",
+              worker_plane: str | None = None,
               trace_path: str | Path | None = None) -> dict:
     """Run the whole pinned matrix; returns the report dict.
 
     ``plane="legacy"`` measures the pre-change data plane (defensive
     copies, no operand cache, 2 workers per node) on the same build.
+    ``worker_plane`` (``"thread"``/``"process"``) overrides every
+    workload's pinned plane — the A/B lever for thread-vs-process runs.
     ``trace_path`` exports the out-of-core workload's Chrome trace.
     """
     workers = LEGACY_WORKERS if plane == "legacy" else None
     workloads = {}
     with _data_plane(plane):
         for w in pinned_workloads(quick=quick):
+            if worker_plane is not None:
+                w = replace(w, worker_plane=worker_plane)
+            if plane == "legacy" and w.worker_plane == "process":
+                continue  # the engine (rightly) refuses the combination
             wl_trace = trace_path if w.name == "out_of_core" else None
             workloads[w.name] = run_workload(
                 w, trace_path=wl_trace, workers=workers)

@@ -111,6 +111,29 @@ def read_block(scratch: Path, desc: ArrayDesc, block: int) -> np.ndarray:
     return data
 
 
+def read_block_into(scratch: Path, desc: ArrayDesc, block: int,
+                    out: np.ndarray) -> np.ndarray:
+    """Load one block from its offset straight into ``out`` (no staging).
+
+    The segment-pool load path: ``out`` is a writable view over a
+    shared-memory segment, and ``readinto`` fills it directly from the
+    file — the load *is* the segment fill, with no intermediate buffer.
+    """
+    path = array_path(scratch, desc.name)
+    want = desc.block_nbytes(block)
+    if out.nbytes != want:
+        raise StorageError(
+            f"destination for block {block} of {desc.name!r} holds "
+            f"{out.nbytes} bytes, want {want}")
+    with open(path, "rb") as fh:
+        fh.seek(block_offset(desc, block))
+        got = fh.readinto(memoryview(out).cast("B"))
+    if got != want:
+        raise StorageError(
+            f"short read of block {block} of {desc.name!r} from {path}")
+    return out
+
+
 def write_array(scratch: Path, desc: ArrayDesc, data: np.ndarray) -> None:
     """Persist a whole array (used to seed initial data)."""
     if data.shape != (desc.length,):
@@ -169,16 +192,24 @@ class IOFilter(Filter):
                  tracer: Tracer | None = None,
                  retry: RetryPolicy | None = None,
                  injector: FaultInjector | None = None,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 legacy_copies: bool | None = None,
+                 segment_pool=None):
         self.scratch = Path(scratch)
         self.node = node
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.retry = retry if retry is not None else RetryPolicy()
         self.injector = injector
         self.metrics = metrics
-        #: DOOC_DATA_PLANE=legacy restores the pre-zero-copy load path
-        #: (defensive copy per block) for A/B benchmarking
-        self.legacy_copies = legacy_copy_plane()
+        #: legacy (copying) load path for A/B benchmarking.  The engine
+        #: threads its construction-time snapshot through here; sampling
+        #: the environment is only the fallback for direct construction,
+        #: so a mid-run DOOC_DATA_PLANE flip can't de-cohere the plane.
+        self.legacy_copies = (legacy_copy_plane() if legacy_copies is None
+                              else bool(legacy_copies))
+        #: repro.core.shm.SegmentPool when loads must land in shared
+        #: memory (process worker plane); None for plain heap loads
+        self.segment_pool = segment_pool
         self._jitter_rng = random.Random(node * 2654435761 + 17)
 
     def _inc(self, name: str, n: int = 1) -> None:
@@ -234,11 +265,28 @@ class IOFilter(Filter):
             token = cmd.get("token")
             start = tracer.now()
             if op == "load":
-                data, error = self._attempt(
-                    lambda: read_block(self.scratch, desc, block),
-                    op, desc, block, lane)
+                segment = cmd.get("segment") or ""
+                if segment and self.segment_pool is not None:
+                    # Destination segment pre-allocated by the store:
+                    # readinto it directly, then hand back the sealed
+                    # (frozen) view.  The legacy copying plane never
+                    # combines with segments (the engine forbids it) —
+                    # a copy here would desynchronize handle and buffer.
+                    def _load_into(segment=segment):
+                        out = self.segment_pool.ndarray(
+                            segment, desc.block_length(block), desc.dtype)
+                        read_block_into(self.scratch, desc, block, out)
+                        out.flags.writeable = False
+                        return out
+
+                    data, error = self._attempt(
+                        _load_into, op, desc, block, lane)
+                else:
+                    data, error = self._attempt(
+                        lambda: read_block(self.scratch, desc, block),
+                        op, desc, block, lane)
                 if error is None:
-                    if self.legacy_copies:
+                    if self.legacy_copies and not segment:
                         self._inc("bytes_copied", int(data.nbytes))
                         data = data.copy()
                     tracer.complete(self.node, lane, "io", "read", start,

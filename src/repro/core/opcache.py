@@ -39,6 +39,7 @@ __all__ = [
     "OPERAND_CONTEXT_KEY",
     "DATA_PLANE_ENV",
     "legacy_copy_plane",
+    "resolve_data_plane",
     "DecodedOperandCache",
     "OperandContext",
     "cached_decode",
@@ -52,8 +53,31 @@ DATA_PLANE_ENV = "DOOC_DATA_PLANE"
 
 
 def legacy_copy_plane() -> bool:
-    """Is the legacy (copying) data plane requested via the environment?"""
+    """Is the legacy (copying) data plane requested via the environment?
+
+    This samples ``os.environ`` *now*.  The engine snapshots the mode
+    once at construction (:func:`resolve_data_plane`) and threads the
+    result through the storage and I/O filters, so a mid-run change to
+    ``DOOC_DATA_PLANE`` cannot produce a mixed copying/zero-copy plane —
+    only the engine's constructor should consult this.
+    """
     return os.environ.get(DATA_PLANE_ENV, "").strip().lower() == "legacy"
+
+
+def resolve_data_plane(value: str | None = None) -> str:
+    """Normalize a data-plane choice to ``"zerocopy"`` or ``"legacy"``.
+
+    ``value=None`` (the default) samples the environment — once, at the
+    single call site in ``DOoCEngine.__init__``; an explicit value
+    overrides the environment entirely.
+    """
+    if value is None:
+        value = "legacy" if legacy_copy_plane() else "zerocopy"
+    value = value.strip().lower()
+    if value not in ("zerocopy", "legacy"):
+        raise ValueError(
+            f"unknown data plane {value!r}: expected 'zerocopy' or 'legacy'")
+    return value
 
 
 class DecodedOperandCache:

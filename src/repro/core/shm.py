@@ -1,0 +1,335 @@
+"""Shared-memory segments: the cross-process block data plane.
+
+The multi-process worker plane (``DOoCEngine(worker_plane="process")``)
+cannot ship NumPy views over a pipe — views only mean something inside
+one address space.  Instead, sealed block buffers live in POSIX shared
+memory (``multiprocessing.shared_memory``) and what crosses the process
+boundary is a :class:`BlockHandle`: ``(segment name, byte offset,
+element count, dtype, seal generation)``.  A worker process maps the
+named segment once, builds a **read-only** ``np.frombuffer`` view at the
+offset, and computes on the very bytes the storage layer sealed — the
+zero-copy and frozen-buffer invariants of the thread plane, preserved
+across ``fork``.
+
+:class:`SegmentPool` is the only place segments are created or
+destroyed (lint rule ``DOOC006`` keeps it that way).  One segment backs
+one block buffer; the pool refcounts *leases* (taken by worker proxies
+for the duration of a dispatched task) and unlinks a segment when its
+block is freed **and** the last lease is gone, so a reclaim can never
+pull the memory out from under an in-flight task.  Unlinking removes
+the ``/dev/shm`` name immediately; the mapping itself lives until the
+last view dies (NumPy's base reference), which is why freeing is a
+*retire-and-sweep*: segments whose buffers are still exported are
+parked and closed on a later sweep instead of erroring.
+
+Child-process attachments go through :func:`attach_view`, which also
+works around bpo-39959: on Python < 3.13 attaching by name registers
+the segment with the child's ``resource_tracker``, which would unlink
+the parent's segment when the child exits — the attachment is
+unregistered immediately after opening.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.errors import StorageError
+
+__all__ = [
+    "BlockHandle",
+    "SegmentPool",
+    "SegmentLeakError",
+    "attach_view",
+    "detach_all",
+    "dev_shm_segments",
+    "SEGMENT_PREFIX",
+]
+
+#: every pool segment name starts with this (leak scans key on it)
+SEGMENT_PREFIX = "dooc-seg"
+
+
+class SegmentLeakError(StorageError):
+    """A pool audit found segments or leases that should be gone."""
+
+
+@dataclass(frozen=True)
+class BlockHandle:
+    """A pass-by-reference descriptor of a span of a sealed block.
+
+    Handles are tiny and picklable: this is what the dispatch path sends
+    to a worker process instead of the bytes.  ``generation`` is the
+    block's seal generation at grant time — the same freshness stamp the
+    decoded-operand cache keys on, so per-process caches in workers use
+    identical keys and can never serve bytes the parent reclaimed.
+    """
+
+    segment: str      #: shared-memory segment name
+    offset: int       #: byte offset of the span within the segment
+    count: int        #: element count
+    dtype: str        #: NumPy dtype string
+    generation: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * np.dtype(self.dtype).itemsize
+
+
+class _Segment:
+    __slots__ = ("shm", "leases", "freed", "unlinked")
+
+    def __init__(self, shm: shared_memory.SharedMemory):
+        self.shm = shm
+        self.leases = 0
+        self.freed = False
+        self.unlinked = False
+
+
+class _PoolSharedMemory(shared_memory.SharedMemory):
+    """SharedMemory whose destructor tolerates still-exported views.
+
+    The stock ``__del__`` calls ``close()``, which raises ``BufferError``
+    while any NumPy view still exports the mapping's buffer — at
+    interpreter exit that prints "Exception ignored in __del__" for
+    every retired segment an engine's stores still reference.  The
+    mapping is about to die with the process anyway; swallow it.
+    """
+
+    def __del__(self):  # pragma: no cover - interpreter-exit path
+        try:
+            super().__del__()
+        except BufferError:
+            pass
+
+
+def _try_close(shm: shared_memory.SharedMemory) -> bool:
+    """Close a mapping unless live views still export its buffer."""
+    try:
+        shm.close()
+        return True
+    except (BufferError, ValueError):
+        return False
+
+
+class SegmentPool:
+    """Owner of this engine's shared-memory segments (parent side).
+
+    Thread-safe: the per-node storage filters of one engine share a
+    single pool (segment names are process-global anyway), and worker
+    filter threads take/release leases concurrently.
+    """
+
+    def __init__(self, tag: str = ""):
+        suffix = f"-{tag}" if tag else ""
+        self._prefix = f"{SEGMENT_PREFIX}-{os.getpid()}{suffix}"
+        self._lock = threading.Lock()
+        self._segments: dict[str, _Segment] = {}
+        #: unlinked segments whose mapping could not close yet (views alive)
+        self._retired: list[shared_memory.SharedMemory] = []
+        self._seq = itertools.count()
+        self.created = 0
+        self.freed_count = 0
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def allocate(self, nbytes: int) -> str:
+        """Create a fresh segment of ``nbytes`` and return its name."""
+        if self._closed:
+            raise StorageError("segment pool is closed")
+        name = f"{self._prefix}-{next(self._seq)}"
+        # The one sanctioned constructor call (see DOOC006).
+        shm = _PoolSharedMemory(
+            name=name, create=True, size=max(int(nbytes), 1))
+        with self._lock:
+            self._segments[name] = _Segment(shm)
+            self.created += 1
+            self._sweep_locked()
+        return name
+
+    def ndarray(self, name: str, count: int, dtype: str, *,
+                offset: int = 0, readonly: bool = False) -> np.ndarray:
+        """A view over ``count`` elements of a pool segment (parent side)."""
+        with self._lock:
+            seg = self._segments.get(name)
+            if seg is None or seg.unlinked:
+                raise StorageError(f"segment {name!r} not in pool")
+            view = np.frombuffer(seg.shm.buf, dtype=dtype, count=count,
+                                 offset=offset)
+        if readonly:
+            view.flags.writeable = False
+        return view
+
+    def free(self, name: str) -> None:
+        """The backing block was reclaimed: unlink once leases drain.
+
+        Unlinking removes the name (no new attachment can map it); views
+        already built over the mapping stay valid until they die.
+        """
+        with self._lock:
+            seg = self._segments.get(name)
+            if seg is None:
+                raise StorageError(f"segment {name!r} not in pool")
+            seg.freed = True
+            self._maybe_unlink_locked(name, seg)
+            self._sweep_locked()
+
+    # -- leases --------------------------------------------------------------
+
+    def lease(self, name: str) -> None:
+        """Pin a segment for an in-flight cross-process task."""
+        with self._lock:
+            seg = self._segments.get(name)
+            if seg is None or seg.unlinked:
+                raise StorageError(f"cannot lease segment {name!r}")
+            seg.leases += 1
+
+    def release(self, name: str) -> None:
+        with self._lock:
+            seg = self._segments.get(name)
+            if seg is None:
+                return  # already unlinked and swept after a late release
+            if seg.leases <= 0:
+                raise StorageError(f"lease underflow on segment {name!r}")
+            seg.leases -= 1
+            if seg.freed:
+                self._maybe_unlink_locked(name, seg)
+
+    # -- teardown / audit ----------------------------------------------------
+
+    def close(self) -> None:
+        """Unlink every remaining segment (engine cleanup / finalizer)."""
+        with self._lock:
+            self._closed = True
+            for name, seg in list(self._segments.items()):
+                seg.freed = True
+                seg.leases = 0
+                self._maybe_unlink_locked(name, seg)
+            self._sweep_locked()
+
+    def lease_counts(self) -> dict[str, int]:
+        with self._lock:
+            return {n: s.leases for n, s in self._segments.items()
+                    if s.leases}
+
+    def live_segments(self) -> list[str]:
+        """Names still linked in /dev/shm (not yet freed)."""
+        with self._lock:
+            return sorted(n for n, s in self._segments.items()
+                          if not s.unlinked)
+
+    def assert_clean(self) -> None:
+        """Raise if any lease survived the run (mirrors TicketAuditor)."""
+        leaked = self.lease_counts()
+        if leaked:
+            detail = ", ".join(f"{n} x{c}" for n, c in sorted(leaked.items()))
+            raise SegmentLeakError(
+                f"segment leases leaked past the run: {detail}")
+
+    # -- internals -----------------------------------------------------------
+
+    def _maybe_unlink_locked(self, name: str, seg: _Segment) -> None:
+        if seg.unlinked or seg.leases > 0 or not seg.freed:
+            return
+        seg.unlinked = True
+        try:
+            seg.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - defensive
+            pass
+        self.freed_count += 1
+        del self._segments[name]
+        if not _try_close(seg.shm):
+            self._retired.append(seg.shm)
+
+    def _sweep_locked(self) -> None:
+        self._retired = [shm for shm in self._retired
+                         if not _try_close(shm)]
+
+
+# ---------------------------------------------------------------------------
+# Child-process attachment
+# ---------------------------------------------------------------------------
+
+#: name -> SharedMemory attachments of *this* process (LRU); bounded so a
+#: long-lived worker doesn't accumulate one dead mapping per retired block
+_ATTACH_CAP = 128
+_attached: OrderedDict[str, shared_memory.SharedMemory] = OrderedDict()
+_evict_pending: list[shared_memory.SharedMemory] = []
+_attach_lock = threading.Lock()
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    with _attach_lock:
+        shm = _attached.get(name)
+        if shm is not None:
+            _attached.move_to_end(name)
+            return shm
+        # bpo-39959: attaching by name registers the segment with a
+        # resource tracker, which would unlink the parent's segment when
+        # this worker exits (spawn children own a private tracker) or
+        # cancel the parent's own registration (fork children share the
+        # parent's tracker, and a later ``unlink`` then double-
+        # unregisters).  The parent owns the lifecycle — suppress the
+        # registration entirely for the duration of the attach.
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            shm = _PoolSharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        _attached[name] = shm
+        while len(_attached) > _ATTACH_CAP:
+            _, old = _attached.popitem(last=False)
+            if not _try_close(old):
+                _evict_pending.append(old)
+        _evict_pending[:] = [s for s in _evict_pending if not _try_close(s)]
+        return shm
+
+
+def attach_view(handle: BlockHandle, *, writable: bool = False) -> np.ndarray:
+    """Map a handle's span in this process (worker side).
+
+    The returned view is read-only unless ``writable=True`` (output
+    spans): the frozen-buffer invariant crosses the process boundary,
+    so a task body writing an input raises exactly as it does in the
+    thread plane.
+    """
+    shm = _attach(handle.segment)
+    view = np.frombuffer(shm.buf, dtype=handle.dtype,
+                         count=handle.count, offset=handle.offset)
+    if not writable:
+        view.flags.writeable = False
+    return view
+
+
+def detach_all() -> None:
+    """Close every attachment of this process (worker shutdown)."""
+    with _attach_lock:
+        for shm in _attached.values():
+            if not _try_close(shm):
+                _evict_pending.append(shm)
+        _attached.clear()
+        _evict_pending[:] = [s for s in _evict_pending if not _try_close(s)]
+
+
+# ---------------------------------------------------------------------------
+# Leak scanning (tests / CI)
+# ---------------------------------------------------------------------------
+
+
+def dev_shm_segments(prefix: str = SEGMENT_PREFIX,
+                     root: str | Path = "/dev/shm") -> list[str]:
+    """Pool segments currently linked on the system (leak assertion)."""
+    root = Path(root)
+    if not root.is_dir():  # pragma: no cover - non-POSIX fallback
+        return []
+    return sorted(p.name for p in root.iterdir()
+                  if p.name.startswith(prefix))

@@ -282,7 +282,45 @@ def test_unknown_code_rejected():
 
 def test_registry_has_the_documented_rules():
     assert set(RULES) == {"DOOC001", "DOOC002", "DOOC003", "DOOC004",
-                          "DOOC005"}
+                          "DOOC005", "DOOC006"}
+
+
+# -- DOOC006: raw shared-memory construction ---------------------------------
+
+
+def test_dooc006_raw_shared_memory_flags():
+    src = (
+        "from multiprocessing import shared_memory\n"
+        "def grab():\n"
+        "    return shared_memory.SharedMemory(name='x', create=True, "
+        "size=64)\n"
+    )
+    assert codes(lint_source(src)) == [("DOOC006", 3, 11)]
+
+
+def test_dooc006_bare_name_call_flags():
+    src = (
+        "from multiprocessing.shared_memory import SharedMemory\n"
+        "shm = SharedMemory(name='x')\n"
+    )
+    assert codes(lint_source(src)) == [("DOOC006", 2, 6)]
+
+
+def test_dooc006_pool_module_is_exempt():
+    src = "shm = shared_memory.SharedMemory(name='x', create=True, size=8)\n"
+    assert lint_source(src, path="src/repro/core/shm.py") == []
+    assert codes(lint_source(src, path="src/repro/core/engine.py")) == [
+        ("DOOC006", 1, 6)]
+
+
+def test_dooc006_segment_pool_usage_is_clean():
+    src = (
+        "from repro.core.shm import SegmentPool, attach_view\n"
+        "def ok(pool, handle):\n"
+        "    name = pool.allocate(4096)\n"
+        "    return name, attach_view(handle)\n"
+    )
+    assert lint_source(src) == []
 
 
 def test_violation_render_and_json_roundtrip():

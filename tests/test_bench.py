@@ -61,10 +61,13 @@ class TestRunWorkload:
     def test_pinned_matrix_is_stable(self):
         for quick in (True, False):
             names = [w.name for w in pinned_workloads(quick=quick)]
-            assert names == ["in_core", "out_of_core", "faulty"]
+            assert names == ["in_core", "in_core_process", "out_of_core",
+                             "faulty"]
         quick = {w.name: w for w in pinned_workloads(quick=True)}
         assert quick["faulty"].fault_seed == 0
         assert quick["out_of_core"].n_nodes == 2
+        assert quick["in_core_process"].worker_plane == "process"
+        assert quick["in_core"].worker_plane == "thread"
         # Pinned = calling twice yields identical configs.
         assert ([w.config() for w in pinned_workloads(quick=True)]
                 == [w.config() for w in pinned_workloads(quick=True)])

@@ -1,0 +1,95 @@
+"""Data-plane mode is a construction-time snapshot, not a live env read.
+
+The regression these tests pin: the engine used to re-sample
+``DOOC_DATA_PLANE`` at every consulting site (engine construction for
+the opcache gate, filter construction for the copy paths), so flipping
+the variable between constructing an engine and running it produced a
+*mixed* plane — e.g. operand cache on (zerocopy decision) with
+defensive copies on (legacy decision).  Now ``DOoCEngine.__init__``
+resolves the mode exactly once and threads the snapshot everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DOoCEngine, Program
+from repro.core.opcache import DATA_PLANE_ENV, resolve_data_plane
+
+
+def scale_fn(ins, outs, meta):
+    (in_name,) = list(ins)
+    (out_name,) = list(outs)
+    outs[out_name][:] = ins[in_name] * 2.0
+
+
+def _total(report, name):
+    return sum(per.get(name, 0) for per in report.metrics.values())
+
+
+def _chain(links=4, n=64):
+    prog = Program("chain", default_block_elems=n)
+    prog.initial_array("a0", np.arange(n, dtype=float))
+    for i in range(links):
+        prog.array(f"a{i+1}", n)
+        prog.add_task(f"t{i}", scale_fn, [f"a{i}"], [f"a{i+1}"])
+    return prog
+
+
+class TestResolveDataPlane:
+    def test_explicit_values_normalized(self):
+        assert resolve_data_plane("zerocopy") == "zerocopy"
+        assert resolve_data_plane(" Legacy ") == "legacy"
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(ValueError, match="unknown data plane"):
+            resolve_data_plane("copyful")
+
+    def test_none_samples_environment(self, monkeypatch):
+        monkeypatch.delenv(DATA_PLANE_ENV, raising=False)
+        assert resolve_data_plane() == "zerocopy"
+        monkeypatch.setenv(DATA_PLANE_ENV, "legacy")
+        assert resolve_data_plane() == "legacy"
+
+
+class TestSnapshotCoherence:
+    def test_flip_to_legacy_after_construction_is_ignored(
+            self, tmp_path, monkeypatch):
+        monkeypatch.delenv(DATA_PLANE_ENV, raising=False)
+        eng = DOoCEngine(n_nodes=1, workers_per_node=2, scratch_dir=tmp_path)
+        assert eng.data_plane == "zerocopy"
+        # The old bug: filters constructed inside run() would re-sample
+        # the environment and come up legacy while the opcache gate
+        # (sampled in __init__) stayed zerocopy — a mixed plane.
+        monkeypatch.setenv(DATA_PLANE_ENV, "legacy")
+        try:
+            report = eng.run(_chain(), timeout=60)
+        finally:
+            eng.cleanup()
+        assert _total(report, "bytes_copied") == 0  # still fully zerocopy
+
+    def test_flip_to_zerocopy_after_construction_is_ignored(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv(DATA_PLANE_ENV, "legacy")
+        eng = DOoCEngine(n_nodes=1, workers_per_node=2, scratch_dir=tmp_path)
+        assert eng.data_plane == "legacy"
+        assert eng.opcache_bytes == 0  # cache force-disabled with the copies
+        monkeypatch.delenv(DATA_PLANE_ENV, raising=False)
+        try:
+            report = eng.run(_chain(), timeout=60)
+        finally:
+            eng.cleanup()
+        # Still fully legacy: loads round-trip through defensive copies.
+        assert _total(report, "bytes_copied") > 0
+        assert _total(report, "opcache_hits") == 0
+
+    def test_explicit_data_plane_overrides_environment(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv(DATA_PLANE_ENV, "legacy")
+        eng = DOoCEngine(n_nodes=1, workers_per_node=2, scratch_dir=tmp_path,
+                         data_plane="zerocopy")
+        assert eng.data_plane == "zerocopy"
+        try:
+            report = eng.run(_chain(), timeout=60)
+        finally:
+            eng.cleanup()
+        assert _total(report, "bytes_copied") == 0

@@ -241,3 +241,90 @@ class TestDataPlanesEndToEnd:
         assert self._total(report, "bytes_copied") > 0
         assert self._total(report, "opcache_hits") == 0
         assert self._total(report, "opcache_misses") == 0
+
+
+class TestOpcacheConcurrentPut:
+    """Accounting under racing put()s of the same key must not drift.
+
+    Two workers that miss on the same operand both decode and both
+    put() — the second insert must replace the first and subtract its
+    size, or ``in_use`` creeps up until the cache stops accepting
+    entries it has room for.
+    """
+
+    def test_racing_reinserts_keep_in_use_exact(self):
+        import threading
+
+        cache = DecodedOperandCache(budget_bytes=10_000)
+        keys = [("a", (1,)), ("b", (2,)), ("c", (3,))]
+        stop = threading.Event()
+        errors = []
+
+        def hammer(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                while not stop.is_set():
+                    array, gens = keys[rng.integers(len(keys))]
+                    cache.put(array, gens, object(),
+                              int(rng.integers(1, 2_000)))
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(s,))
+                   for s in range(4)]
+        for t in threads:
+            t.start()
+        import time
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors
+        with cache._lock:
+            exact = sum(nbytes for _, nbytes in cache._entries.values())
+        assert cache.in_use == exact
+        assert 0 <= cache.in_use <= cache.budget
+        # Re-inserting every key at a known size converges exactly.
+        for array, gens in keys:
+            cache.put(array, gens, object(), 100)
+        assert cache.in_use == 100 * len(keys)
+        cache.clear()
+        assert cache.in_use == 0
+
+
+class TestAvailableCpus:
+    """The worker default must honor affinity masks, not just cpu_count."""
+
+    def test_affinity_mask_preferred(self, monkeypatch):
+        import os
+
+        from repro.core.engine import _available_cpus
+
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2},
+                            raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert _available_cpus() == 3
+        assert default_worker_count() == 3
+
+    def test_cpu_count_fallback_when_no_affinity(self, monkeypatch):
+        import os
+
+        from repro.core.engine import _available_cpus
+
+        def boom(pid):
+            raise AttributeError("no sched_getaffinity here")
+
+        monkeypatch.setattr(os, "sched_getaffinity", boom, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert _available_cpus() == 6
+        assert default_worker_count() == 6
+
+    def test_bounds_still_apply(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0},
+                            raising=False)
+        assert default_worker_count() == 2  # floor: compute/copy overlap
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: set(range(32)), raising=False)
+        assert default_worker_count() == 8  # cap: glue-code contention
