@@ -45,8 +45,12 @@ PARSE_ERROR_CODE = "DOOC000"
 DEFAULT_PATH_RELAXATIONS: dict[str, frozenset[str]] = {
     # DOOC005 is relaxed in tests/benchmarks: crash-injection tests write
     # deliberately torn .blk/.ckpt files to prove recovery rejects them.
-    "tests": frozenset({"DOOC001", "DOOC002", "DOOC004", "DOOC005"}),
-    "benchmarks": frozenset({"DOOC001", "DOOC002", "DOOC004", "DOOC005"}),
+    # DOOC007 likewise: corruption tests may hand-craft broken compressed
+    # streams without routing them through the codec registry.
+    "tests": frozenset({"DOOC001", "DOOC002", "DOOC004", "DOOC005",
+                        "DOOC007"}),
+    "benchmarks": frozenset({"DOOC001", "DOOC002", "DOOC004", "DOOC005",
+                             "DOOC007"}),
     "examples": frozenset({"DOOC001", "DOOC002"}),
 }
 

@@ -510,3 +510,45 @@ def check_raw_shared_memory(tree: ast.Module, path: str) -> Iterator[Violation]:
             "refcounts and unlink sweep (a crash leaks /dev/shm); use "
             "repro.core.shm.SegmentPool.allocate / attach_view",
         )
+
+
+# -- DOOC007: direct compression-library use ---------------------------------
+
+#: the one module allowed to import zlib/lzma/bz2 (the codec registry)
+_CODECS_HOME = ("repro", "core", "codecs.py")
+
+#: stdlib compression modules the codec pipeline wraps
+_COMPRESSION_MODULES = ("zlib", "lzma", "bz2")
+
+
+def _is_codecs_home(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    return tuple(parts[-3:]) == _CODECS_HOME
+
+
+@register(
+    "DOOC007",
+    "direct-compression-call",
+    "zlib/lzma/bz2 used outside repro.core.codecs; compression must go "
+    "through the codec registry so on-disk formats stay self-describing "
+    "and DOOC_CODEC snapshot semantics hold",
+)
+def check_direct_compression(tree: ast.Module, path: str) -> Iterator[Violation]:
+    if _is_codecs_home(path):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            names = [a.name for a in node.names
+                     if a.name.split(".")[0] in _COMPRESSION_MODULES]
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            names = [root] if root in _COMPRESSION_MODULES else []
+        else:
+            continue
+        for name in names:
+            yield Violation(
+                "DOOC007", path, node.lineno, node.col_offset,
+                f"direct {name} use bypasses the codec registry (headers "
+                "would no longer name the codec and DOOC_CODEC would not "
+                "apply); encode/decode through repro.core.codecs instead",
+            )

@@ -115,7 +115,16 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  {'total':12s} {totals['wall_seconds']:8.3f}s "
           f"{totals['tasks_per_second']:8.1f} tasks/s "
           f"copied {totals['bytes_copied']:>12,d} B")
-    if not all(wl["bit_identical"] for wl in report["workloads"].values()):
+    for codec, wl in report.get("codec_sweep", {}).items():
+        io = wl["io_bytes"]
+        print(f"  codec {codec:12s} {wl['wall_seconds']:8.3f}s "
+              f"ratio {io['compression_ratio']:6.3f} "
+              f"disk read {io['disk_read']:>12,d} B "
+              f"effective {io['effective_read_mb_s']:8.1f} MB/s "
+              f"{'bit-identical' if wl['bit_identical'] else 'MISMATCH'}")
+    sweep = report.get("codec_sweep", {}).values()
+    if not all(wl["bit_identical"]
+               for wl in (*report["workloads"].values(), *sweep)):
         print("bench: result mismatch against the SciPy reference",
               file=sys.stderr)
         return 1

@@ -38,7 +38,12 @@ from repro.core.opcache import DATA_PLANE_ENV
 from repro.obs import Tracer, export_chrome_trace
 
 #: report schema identifier; bump on incompatible field changes
-SCHEMA = "dooc-bench/1"
+SCHEMA = "dooc-bench/2"
+
+#: codecs measured by the compression-tradeoff sweep (raw first: it is
+#: the effective-bandwidth and bytes-on-disk reference the others are
+#: judged against)
+SWEEP_CODECS = ("raw", "zlib", "shuffle-zlib")
 
 #: pre-change worker default, used for ``plane="legacy"`` runs so the
 #: baseline measures the configuration that shipped before the zero-copy
@@ -73,6 +78,7 @@ class Workload:
     opcache_bytes: int | None = None  #: None = engine default (budget/4)
     seed: int = 20120910     #: matrix/vector generator seed (ICPP 2012)
     worker_plane: str = "thread"  #: "thread" or "process" (GIL-free)
+    codec: str | None = None  #: block codec (None = engine default / raw)
 
     def config(self) -> dict:
         return asdict(self)
@@ -200,6 +206,7 @@ def run_workload(w: Workload, *, trace_path: str | Path | None = None,
             trace=tracer,
             faults=faults,
             worker_plane=w.worker_plane,
+            codec=w.codec,
         )
         try:
             report = eng.run(built.program, timeout=300.0)
@@ -221,6 +228,23 @@ def run_workload(w: Workload, *, trace_path: str | Path | None = None,
     hits = _sum_metric(metrics, "opcache_hits")
     misses = _sum_metric(metrics, "opcache_misses")
     bytes_copied = _sum_metric(metrics, "bytes_copied")
+    phases = _phase_breakdown(events)
+    logical_read = _sum_metric(metrics, "logical_bytes_read")
+    disk_read = _sum_metric(metrics, "disk_bytes_read")
+    read_seconds = phases.get("read", 0.0)
+    io_bytes = {
+        "logical_read": logical_read,
+        "disk_read": disk_read,
+        "logical_written": _sum_metric(metrics, "logical_bytes_written"),
+        "disk_written": _sum_metric(metrics, "disk_bytes_written"),
+        # ratio > 1 means the codec paid for itself in bytes; effective
+        # bandwidth is *logical* bytes delivered per second of io/read
+        # span (read + decode), the number a solver actually experiences
+        "compression_ratio": (round(logical_read / disk_read, 4)
+                              if disk_read else 1.0),
+        "effective_read_mb_s": (round(logical_read / read_seconds / 1e6, 3)
+                                if read_seconds > 0 else 0.0),
+    }
     return {
         "config": w.config(),
         "workers": engine_workers,
@@ -238,7 +262,8 @@ def run_workload(w: Workload, *, trace_path: str | Path | None = None,
         "spills": _sum_metric(metrics, "spills"),
         "io_retries": _sum_metric(metrics, "io_retries"),
         "task_reexecutions": _sum_metric(metrics, "task_reexecutions"),
-        "phases": _phase_breakdown(events),
+        "io_bytes": io_bytes,
+        "phases": phases,
         "bit_identical": bool(np.array_equal(got, want)),
         "max_abs_err": float(np.max(np.abs(got - want))) if len(got) else 0.0,
     }
@@ -258,6 +283,7 @@ def run_suite(*, quick: bool = False, tag: str = "dev",
     """
     workers = LEGACY_WORKERS if plane == "legacy" else None
     workloads = {}
+    codec_sweep = {}
     with _data_plane(plane):
         for w in pinned_workloads(quick=quick):
             if worker_plane is not None:
@@ -267,6 +293,17 @@ def run_suite(*, quick: bool = False, tag: str = "dev",
             wl_trace = trace_path if w.name == "out_of_core" else None
             workloads[w.name] = run_workload(
                 w, trace_path=wl_trace, workers=workers)
+        if plane == "zerocopy":
+            # Compression-ratio / bandwidth-tradeoff sweep: the same
+            # pinned out-of-core workload re-run under each codec, so
+            # the report answers "what do I pay (decode time) and what
+            # do I get back (bytes off the disk path)" on one build.
+            ooc = next(w for w in pinned_workloads(quick=quick)
+                       if w.name == "out_of_core")
+            for codec in SWEEP_CODECS:
+                codec_sweep[codec] = run_workload(
+                    replace(ooc, name=f"out_of_core[{codec}]", codec=codec),
+                    repeats=1)
     total_wall = sum(r["wall_seconds"] for r in workloads.values())
     total_tasks = sum(r["tasks"] for r in workloads.values())
     return {
@@ -275,6 +312,7 @@ def run_suite(*, quick: bool = False, tag: str = "dev",
         "mode": "quick" if quick else "full",
         "data_plane": plane,
         "workloads": workloads,
+        "codec_sweep": codec_sweep,
         "totals": {
             "wall_seconds": round(total_wall, 6),
             "tasks": total_tasks,
@@ -300,6 +338,38 @@ def load_report(path: str | Path) -> dict:
     return report
 
 
+def check_codec_invariants(current: dict) -> list[str]:
+    """Baseline-free gates on the current report's codec sweep.
+
+    These are correctness invariants of the codec pipeline, not
+    regressions against history: every codec must reproduce the SciPy
+    reference bit-identically, must keep the hot loop's
+    ``bytes_copied == 0`` (decode lands in the pooled segment, never a
+    staging copy), and zlib must actually take bytes *off* the disk read
+    path relative to raw on the pinned out-of-core workload.
+    """
+    failures: list[str] = []
+    sweep = current.get("codec_sweep", {})
+    for codec, r in sorted(sweep.items()):
+        if not r.get("bit_identical", False):
+            failures.append(
+                f"codec_sweep[{codec}]: result not bit-identical to the "
+                "SciPy reference (lossless codecs must not change bits)")
+        if r.get("bytes_copied", 0) != 0:
+            failures.append(
+                f"codec_sweep[{codec}]: bytes_copied = "
+                f"{r['bytes_copied']}, want 0 (decode must land directly "
+                "in the pooled segment)")
+    if "raw" in sweep and "zlib" in sweep:
+        raw_disk = sweep["raw"]["io_bytes"]["disk_read"]
+        zlib_disk = sweep["zlib"]["io_bytes"]["disk_read"]
+        if not zlib_disk < raw_disk:
+            failures.append(
+                f"codec_sweep: zlib read {zlib_disk} disk bytes, raw read "
+                f"{raw_disk} — compression is not reducing bytes read")
+    return failures
+
+
 def check_regression(current: dict, baseline: dict,
                      *, tolerance_pct: float = 25.0) -> list[str]:
     """Compare a fresh report against the committed baseline.
@@ -307,9 +377,11 @@ def check_regression(current: dict, baseline: dict,
     Returns failure strings (empty = pass): a per-workload wall-time
     increase beyond ``tolerance_pct``, **any** bytes-copied increase
     (those copies are deterministic, so an increase is a code change,
-    not noise), or a lost bit-identity.
+    not noise), a lost bit-identity, or a violated codec-sweep
+    invariant (:func:`check_codec_invariants` — gated on the *current*
+    report alone).
     """
-    failures: list[str] = []
+    failures: list[str] = check_codec_invariants(current)
     if current.get("mode") != baseline.get("mode"):
         failures.append(
             f"mode mismatch: current {current.get('mode')!r} vs baseline "

@@ -28,6 +28,10 @@ class ArrayDesc:
     length: int
     dtype: str = "float64"
     block_elems: int = 2**20
+    #: on-disk block codec name (see :mod:`repro.core.codecs`); ``None``
+    #: means "unspecified" — the engine stamps its construction-time
+    #: snapshot at run time, and standalone I/O helpers treat it as raw
+    codec: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -37,6 +41,9 @@ class ArrayDesc:
         if self.block_elems <= 0:
             raise StorageError(f"array {self.name!r}: block_elems must be positive")
         np.dtype(self.dtype)  # raises TypeError on junk
+        if self.codec is not None:
+            from repro.core.codecs import get_codec
+            get_codec(self.codec)  # raises UnknownCodecError on junk
 
     @property
     def itemsize(self) -> int:

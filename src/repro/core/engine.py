@@ -30,7 +30,7 @@ import shutil
 import tempfile
 import time
 import weakref
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, NoReturn
 
@@ -55,6 +55,7 @@ from repro.core.interval import (
     intervals_for_range,
     whole_array,
 )
+from repro.core.codecs import resolve_codec
 from repro.core.iofilter import IOFilter, read_block, write_array
 from repro.core.local_scheduler import LocalSchedulerCore
 from repro.core.opcache import (
@@ -95,7 +96,6 @@ from repro.recovery.membership import (
     MembershipConfig,
     MembershipTracker,
 )
-from repro.util.atomicio import atomic_write
 from repro.util.rng import RngTree
 
 __all__ = ["Program", "DOoCEngine", "RunReport"]
@@ -1797,6 +1797,7 @@ class DOoCEngine:
         node_recovery: bool = True,
         worker_plane: str = "thread",
         data_plane: str | None = None,
+        codec: str | None = None,
     ):
         if workers is not None and workers_per_node is not None:
             raise DoocError("pass either workers= or workers_per_node=, not both")
@@ -1821,6 +1822,11 @@ class DOoCEngine:
         #: re-read os.environ at every load/serve call site).
         self.data_plane = resolve_data_plane(data_plane)
         self._legacy_copies = self.data_plane == "legacy"
+        #: on-disk block codec, snapshotted ONCE here exactly like the
+        #: data plane: ``None`` samples DOOC_CODEC, and every descriptor
+        #: the run spills is stamped with this snapshot — a mid-run flip
+        #: of the environment variable cannot split readers from writers.
+        self.codec = resolve_codec(codec)
         if worker_plane not in ("thread", "process"):
             raise DoocError(
                 f"unknown worker_plane {worker_plane!r}: "
@@ -1934,10 +1940,9 @@ class DOoCEngine:
         scratch directory plays that role (threads don't take disks with
         them), so re-seeding is a byte copy into the new home's scratch.
         """
-        from repro.core.iofilter import array_path
-        src = array_path(self.node_scratch(dead), array)
-        dst = array_path(self.node_scratch(new_home), array)
-        atomic_write(dst, src.read_bytes())
+        from repro.core.iofilter import copy_array_files
+        copy_array_files(self.node_scratch(dead), self.node_scratch(new_home),
+                         array)
 
     # -- run ---------------------------------------------------------------------
 
@@ -1952,7 +1957,14 @@ class DOoCEngine:
             validate_tasks(program.tasks, set(program.initial_data))
             auditor = TicketAuditor()
         dag = program.build_dag()
-        self._descs = dict(program.arrays)
+        # Stamp the engine's codec snapshot onto every descriptor that
+        # doesn't pin one of its own: spills, loads, and checkpoints all
+        # see the same codec for the whole run.  (Pre-seeded files keep
+        # working regardless — readers probe the on-disk layout.)
+        self._descs = {
+            name: d if d.codec is not None else replace(d, codec=self.codec)
+            for name, d in program.arrays.items()
+        }
         nbytes = {name: d.nbytes for name, d in self._descs.items()}
 
         for name, home in program.initial_home.items():
@@ -1972,8 +1984,8 @@ class DOoCEngine:
         for name, data in program.initial_data.items():
             scratch = self.node_scratch(program.initial_home[name])
             if data is None:
-                from repro.core.iofilter import array_path
-                if not array_path(scratch, name).exists():
+                from repro.core.iofilter import array_exists
+                if not array_exists(scratch, name):
                     raise DoocError(
                         f"initial array {name!r} declared from scratch but "
                         f"no backing file exists on node "

@@ -17,6 +17,31 @@ class UnknownArrayError(StorageError):
     """An operation referenced an array the storage layer has never seen."""
 
 
+class BlockMissingError(StorageError):
+    """A read addressed a block that was never written to disk.
+
+    Raised when the backing file (or chunk file) does not exist, or the
+    block's offset lies past the end of the file — a *reconstructable*
+    miss (sparse writes, a producer that never ran), categorically
+    different from a torn or corrupt file: fault-tolerance retries are
+    pointless (the bytes were never there) and lineage replay can
+    regenerate the block, so the two must not share an error type.
+    """
+
+
+class CodecError(StorageError):
+    """A compressed block payload failed to decode cleanly.
+
+    Truncated, bit-flipped, or mis-framed payloads surface as this error
+    (never as a silently garbage block): the codec pipeline length- and
+    checksum-verifies every decode.
+    """
+
+
+class UnknownCodecError(CodecError):
+    """A codec name (header, manifest, DOOC_CODEC) is not registered."""
+
+
 class IOFailedError(StorageError):
     """A block I/O operation failed permanently (retries exhausted).
 
@@ -66,3 +91,12 @@ class NodeLostError(StallError):
 
 class RecoveryError(DoocError):
     """Checkpoint/restart or lineage machinery failed (corrupt manifest...)."""
+
+
+class CodecMismatchError(RecoveryError):
+    """A checkpoint was written under a different codec than the restorer's.
+
+    Restarting across a codec change is refused by name rather than
+    risking a half-migrated checkpoint directory: re-encode explicitly
+    (or restore with the original codec) instead.
+    """

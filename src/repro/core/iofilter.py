@@ -1,7 +1,21 @@
 """Scratch-directory block I/O.
 
 Each node's storage filter uses a scratch directory as its out-of-core
-backing store: one binary file per array, blocks at fixed offsets.
+backing store.  Two on-disk layouts coexist, selected by the array's
+codec (:mod:`repro.core.codecs`) and self-describing to readers:
+
+* ``raw`` (codec unset): one binary file per array (``<name>.arr``),
+  blocks at fixed offsets — the original fixed-stride layout;
+* any other codec: a zarr-style chunk directory (``<name>.arrc/``) with
+  one container file per block (``<block>.blk``), each a small header
+  (magic, codec name, raw/payload sizes, CRC-32) followed by the encoded
+  payload.  Variable-length compressed blocks never splice into a shared
+  file, so a chunk write is a single whole-file atomic write.
+
+Readers probe the layout on disk rather than trusting the descriptor, and
+chunk headers name their own codec — an array seeded raw stays readable
+under an engine whose default codec is ``zlib`` and vice versa.
+
 ``IOFilter`` (a DataCutter filter) performs the actual reads/writes so
 "the interactions with the file system [are] completely asynchronous" —
 the storage filter never blocks on disk.
@@ -11,13 +25,19 @@ Failure semantics: every command is retried under a
 command whose retries are exhausted is answered with a structured
 ``io_error`` reply carrying the original ``token`` — the filter itself
 never dies on an I/O error, so the storage layer can fail the blocked
-tickets fast instead of stranding them.
+tickets fast instead of stranding them.  A
+:class:`~repro.core.errors.BlockMissingError` (block never written: file
+absent, chunk absent, or offset past EOF) is **not** retried — the bytes
+were never there, so backoff cannot help; the named type lets recovery
+tell a reconstructable miss from real corruption.
 """
 
 from __future__ import annotations
 
 import os
 import random
+import shutil
+import struct
 import time
 from pathlib import Path
 
@@ -25,7 +45,8 @@ import numpy as np
 
 
 from repro.core.array import ArrayDesc
-from repro.core.errors import StorageError
+from repro.core.codecs import checksum, get_codec
+from repro.core.errors import BlockMissingError, StorageError
 from repro.core.opcache import legacy_copy_plane
 from repro.datacutter.buffers import END_OF_STREAM, DataBuffer
 from repro.datacutter.filters import Filter, FilterContext
@@ -34,6 +55,13 @@ from repro.obs import MetricsRegistry, Tracer
 from repro.util.atomicio import atomic_write
 
 _SUFFIX = ".arr"
+_CHUNK_SUFFIX = ".arrc"
+
+#: chunk container framing: magic, codec name (NUL-padded ASCII),
+#: raw byte count, encoded payload byte count, CRC-32 of the payload
+CHUNK_MAGIC = b"DOOCCHK1"
+_CHUNK_HEADER = struct.Struct("<8s16sQQI")
+CHUNK_HEADER_NBYTES = _CHUNK_HEADER.size
 
 
 def escape_name(name: str) -> str:
@@ -56,26 +84,114 @@ def unescape_name(safe: str) -> str:
 
 
 def array_path(scratch: Path, name: str) -> Path:
-    """File backing ``name`` (array names may contain '/' -> subdirs not
-    allowed; they are mangled to keep one flat directory)."""
+    """File backing ``name`` under the raw layout (array names may contain
+    '/' -> subdirs not allowed; they are mangled to keep one flat
+    directory)."""
     return Path(scratch) / f"{escape_name(name)}{_SUFFIX}"
 
 
+def chunk_dir(scratch: Path, name: str) -> Path:
+    """Chunk directory backing ``name`` under a compressed layout."""
+    return Path(scratch) / f"{escape_name(name)}{_CHUNK_SUFFIX}"
+
+
+def chunk_path(scratch: Path, name: str, block: int) -> Path:
+    return chunk_dir(scratch, name) / f"{block:08d}.blk"
+
+
+def desc_codec(desc: ArrayDesc) -> str:
+    """The codec this descriptor *writes* with (``None`` -> raw)."""
+    return desc.codec or "raw"
+
+
+def array_exists(scratch: Path, name: str) -> bool:
+    """Is there any on-disk backing for ``name`` (either layout)?"""
+    return (array_path(scratch, name).exists()
+            or chunk_dir(scratch, name).is_dir())
+
+
 def block_offset(desc: ArrayDesc, block: int) -> int:
-    """Byte offset of ``block`` within the array's backing file."""
+    """Byte offset of ``block`` within the array's raw backing file."""
     desc.block_bounds(block)
     return block * desc.block_elems * desc.itemsize
 
 
-def write_block(scratch: Path, desc: ArrayDesc, block: int, data: np.ndarray) -> None:
-    """Persist one block at its offset (creating/growing the file).
+def _inc(metrics, name: str, n: int) -> None:
+    if metrics is not None and n:
+        metrics.inc(name, int(n))
 
-    The write is crash-atomic: :func:`repro.util.atomicio.atomic_write`
-    splices the block into a complete fsynced temporary and renames it
-    over the array file, so a crash mid-write never leaves a torn block —
-    and its per-path lock serializes concurrent first-writes of different
-    blocks (the create/truncate race the old ``O_CREAT | O_RDWR`` open
-    existed to avoid).
+
+def pack_chunk(codec_name: str, raw, itemsize: int) -> bytes:
+    """Frame one block's bytes as a self-describing chunk container."""
+    codec = get_codec(codec_name)
+    payload = codec.encode(raw, itemsize)
+    name_bytes = codec_name.encode("ascii")
+    if len(name_bytes) > 16:
+        raise StorageError(f"codec name {codec_name!r} exceeds 16 bytes")
+    header = _CHUNK_HEADER.pack(
+        CHUNK_MAGIC, name_bytes.ljust(16, b"\0"),
+        len(memoryview(raw).cast("B")), len(payload), checksum(payload))
+    return header + payload
+
+
+def _parse_chunk(blob: bytes, what: str):
+    """Validate a chunk container's framing: ``(codec_name, raw_nbytes,
+    payload)``.
+
+    Every failure mode of a torn, truncated, or bit-flipped chunk file —
+    short header, bad magic, payload shorter than the header promises,
+    CRC mismatch — surfaces as a :class:`StorageError` naming ``what``.
+    """
+    if len(blob) < CHUNK_HEADER_NBYTES:
+        raise StorageError(f"truncated chunk header for {what}")
+    magic, codec_name, raw_nbytes, payload_nbytes, crc = \
+        _CHUNK_HEADER.unpack_from(blob, 0)
+    if magic != CHUNK_MAGIC:
+        raise StorageError(f"bad chunk magic {magic!r} for {what}")
+    payload = memoryview(blob)[CHUNK_HEADER_NBYTES:]
+    if len(payload) != payload_nbytes:
+        raise StorageError(
+            f"chunk for {what} truncated: header promises {payload_nbytes} "
+            f"payload bytes, file holds {len(payload)}")
+    if checksum(payload) != crc:
+        raise StorageError(f"chunk checksum mismatch for {what} (torn write "
+                           "or bit rot)")
+    return codec_name.rstrip(b"\0").decode("ascii"), raw_nbytes, payload
+
+
+def unpack_chunk_into(blob: bytes, out: memoryview, itemsize: int,
+                      what: str) -> None:
+    """Verify and decode a chunk container straight into ``out``.
+
+    On top of :func:`_parse_chunk`'s framing checks, a raw-size mismatch
+    against ``out``, an unregistered codec, or a payload that will not
+    decode to exactly ``len(out)`` bytes all surface as
+    :class:`StorageError`; a corrupt chunk can never install garbage.
+    """
+    codec_name, raw_nbytes, payload = _parse_chunk(blob, what)
+    if raw_nbytes != len(out):
+        raise StorageError(
+            f"chunk for {what} holds {raw_nbytes} raw bytes, want {len(out)}")
+    get_codec(codec_name).decode_into(payload, out, itemsize)
+
+
+def unpack_chunk(blob: bytes, itemsize: int, what: str) -> bytes:
+    """Verify and decode a chunk container; size comes from its header."""
+    codec_name, raw_nbytes, payload = _parse_chunk(blob, what)
+    return get_codec(codec_name).decode(payload, raw_nbytes, itemsize)
+
+
+def write_block(scratch: Path, desc: ArrayDesc, block: int, data: np.ndarray,
+                *, metrics: MetricsRegistry | None = None) -> None:
+    """Persist one block (creating/growing the backing as needed).
+
+    Raw layout: :func:`repro.util.atomicio.atomic_write` splices the block
+    into a complete fsynced temporary and renames it over the array file,
+    so a crash mid-write never leaves a torn block — and its per-path lock
+    serializes concurrent first-writes of different blocks.  Compressed
+    layouts write one self-contained chunk file per block, so the same
+    atomic-rename guarantee costs one small file, not a whole-array
+    rewrite.
     """
     expected = desc.block_length(block)
     if data.shape != (expected,):
@@ -83,77 +199,202 @@ def write_block(scratch: Path, desc: ArrayDesc, block: int, data: np.ndarray) ->
             f"block {block} of {desc.name!r} has length {expected}, "
             f"got shape {data.shape}"
         )
-    atomic_write(array_path(scratch, desc.name),
-                 np.ascontiguousarray(data, dtype=desc.dtype).tobytes(),
-                 offset=block_offset(desc, block))
+    raw = np.ascontiguousarray(data, dtype=desc.dtype).tobytes()
+    codec_name = desc_codec(desc)
+    if codec_name == "raw":
+        atomic_write(array_path(scratch, desc.name), raw,
+                     offset=block_offset(desc, block))
+        _inc(metrics, "disk_bytes_written", len(raw))
+    else:
+        blob = pack_chunk(codec_name, raw, desc.itemsize)
+        atomic_write(chunk_path(scratch, desc.name, block), blob)
+        _inc(metrics, "disk_bytes_written", len(blob))
+    _inc(metrics, "logical_bytes_written", len(raw))
 
 
-def read_block(scratch: Path, desc: ArrayDesc, block: int) -> np.ndarray:
-    """Load one block from its offset — zero-copy.
-
-    The returned array is a non-writable view over the read buffer (the
-    ``bytes`` object owns the memory): no ``frombuffer(...).copy()``
-    round-trip.  Blocks entering the store through this path are sealed
-    under write-once, so a read-only buffer is exactly the invariant the
-    rest of the data plane wants to hand out.
-    """
-    path = array_path(scratch, desc.name)
-    length = desc.block_length(block)
-    with open(path, "rb") as fh:
-        fh.seek(block_offset(desc, block))
-        raw = fh.read(length * desc.itemsize)
-    if len(raw) != length * desc.itemsize:
+def _read_raw_block(path: Path, desc: ArrayDesc, block: int) -> bytes:
+    """The raw layout's byte read, distinguishing missing from torn."""
+    nbytes = desc.block_nbytes(block)
+    offset = block_offset(desc, block)
+    try:
+        with open(path, "rb") as fh:
+            size = os.fstat(fh.fileno()).st_size
+            if offset >= size:
+                raise BlockMissingError(
+                    f"block {block} of {desc.name!r} was never written: "
+                    f"offset {offset} past end of {path} ({size} bytes)")
+            fh.seek(offset)
+            raw = fh.read(nbytes)
+    except FileNotFoundError:
+        raise BlockMissingError(
+            f"block {block} of {desc.name!r} was never written: "
+            f"no backing file {path}") from None
+    if len(raw) != nbytes:
         raise StorageError(
-            f"short read of block {block} of {desc.name!r} from {path}"
-        )
+            f"short read of block {block} of {desc.name!r} from {path}: "
+            f"got {len(raw)} of {nbytes} bytes (torn or truncated file)")
+    return raw
+
+
+def _read_chunk_blob(scratch: Path, desc: ArrayDesc, block: int) -> bytes:
+    path = chunk_path(scratch, desc.name, block)
+    try:
+        return path.read_bytes()
+    except FileNotFoundError:
+        raise BlockMissingError(
+            f"block {block} of {desc.name!r} was never written: "
+            f"no chunk file {path}") from None
+
+
+def _layout(scratch: Path, desc: ArrayDesc) -> str:
+    """Which layout backs this array on disk right now?
+
+    Readers self-describe from the filesystem: the chunk directory wins
+    when present (a compressed writer created it), the raw file
+    otherwise.  Neither existing is a missing *array* — reported as a
+    missing block so sparse/never-written reads stay reconstructable.
+    """
+    if chunk_dir(scratch, desc.name).is_dir():
+        return "chunk"
+    return "raw"
+
+
+def read_block(scratch: Path, desc: ArrayDesc, block: int,
+               *, metrics: MetricsRegistry | None = None) -> np.ndarray:
+    """Load one block — zero-copy for raw, decode-once for compressed.
+
+    The returned array is a non-writable view over the read (or decoded)
+    buffer: no ``frombuffer(...).copy()`` round-trip.  Blocks entering
+    the store through this path are sealed under write-once, so a
+    read-only buffer is exactly the invariant the rest of the data plane
+    wants to hand out.
+    """
+    if _layout(scratch, desc) == "chunk":
+        blob = _read_chunk_blob(scratch, desc, block)
+        raw = bytearray(desc.block_nbytes(block))
+        unpack_chunk_into(blob, memoryview(raw), desc.itemsize,
+                          f"block {block} of {desc.name!r}")
+        _inc(metrics, "disk_bytes_read", len(blob))
+    else:
+        raw = _read_raw_block(array_path(scratch, desc.name), desc, block)
+        _inc(metrics, "disk_bytes_read", len(raw))
+    _inc(metrics, "logical_bytes_read", desc.block_nbytes(block))
     data = np.frombuffer(raw, dtype=desc.dtype)
     data.flags.writeable = False  # already immutable; assert the invariant
     return data
 
 
 def read_block_into(scratch: Path, desc: ArrayDesc, block: int,
-                    out: np.ndarray) -> np.ndarray:
-    """Load one block from its offset straight into ``out`` (no staging).
+                    out: np.ndarray,
+                    *, metrics: MetricsRegistry | None = None) -> np.ndarray:
+    """Load one block straight into ``out`` (no staging buffer).
 
     The segment-pool load path: ``out`` is a writable view over a
-    shared-memory segment, and ``readinto`` fills it directly from the
-    file — the load *is* the segment fill, with no intermediate buffer.
+    shared-memory segment.  Raw blocks ``readinto`` it directly from the
+    file; compressed blocks decode straight into it — either way the
+    load *is* the segment fill, with no intermediate block buffer.
     """
-    path = array_path(scratch, desc.name)
     want = desc.block_nbytes(block)
     if out.nbytes != want:
         raise StorageError(
             f"destination for block {block} of {desc.name!r} holds "
             f"{out.nbytes} bytes, want {want}")
-    with open(path, "rb") as fh:
-        fh.seek(block_offset(desc, block))
-        got = fh.readinto(memoryview(out).cast("B"))
+    dest = memoryview(out).cast("B")
+    if _layout(scratch, desc) == "chunk":
+        blob = _read_chunk_blob(scratch, desc, block)
+        unpack_chunk_into(blob, dest, desc.itemsize,
+                          f"block {block} of {desc.name!r}")
+        _inc(metrics, "disk_bytes_read", len(blob))
+        _inc(metrics, "logical_bytes_read", want)
+        return out
+    path = array_path(scratch, desc.name)
+    offset = block_offset(desc, block)
+    try:
+        with open(path, "rb") as fh:
+            size = os.fstat(fh.fileno()).st_size
+            if offset >= size:
+                raise BlockMissingError(
+                    f"block {block} of {desc.name!r} was never written: "
+                    f"offset {offset} past end of {path} ({size} bytes)")
+            fh.seek(offset)
+            got = fh.readinto(dest)
+    except FileNotFoundError:
+        raise BlockMissingError(
+            f"block {block} of {desc.name!r} was never written: "
+            f"no backing file {path}") from None
     if got != want:
         raise StorageError(
-            f"short read of block {block} of {desc.name!r} from {path}")
+            f"short read of block {block} of {desc.name!r} from {path}: "
+            f"got {got} of {want} bytes (torn or truncated file)")
+    _inc(metrics, "disk_bytes_read", want)
+    _inc(metrics, "logical_bytes_read", want)
     return out
 
 
-def write_array(scratch: Path, desc: ArrayDesc, data: np.ndarray) -> None:
-    """Persist a whole array (used to seed initial data)."""
+def write_array(scratch: Path, desc: ArrayDesc, data: np.ndarray,
+                *, metrics: MetricsRegistry | None = None) -> None:
+    """Persist a whole array (used to seed initial data).
+
+    The raw layout seeds with a **single** atomic write of the complete
+    file.  (It used to call :func:`write_block` per block, and every such
+    call re-ran ``atomic_write``'s read-splice-fsync-rename of the whole
+    array file: O(blocks x file size) rewrite churn — one rename and one
+    fsync per *block* — on every seed.)  Compressed layouts write one
+    chunk file per block; each is small and independently atomic.
+    """
     if data.shape != (desc.length,):
         raise StorageError(
             f"array {desc.name!r} has length {desc.length}, got {data.shape}"
         )
+    if desc_codec(desc) == "raw":
+        raw = np.ascontiguousarray(data, dtype=desc.dtype).tobytes()
+        atomic_write(array_path(scratch, desc.name), raw)
+        _inc(metrics, "disk_bytes_written", len(raw))
+        return
     for b in desc.blocks():
         lo, hi = desc.block_bounds(b)
-        write_block(scratch, desc, b, np.asarray(data[lo:hi], dtype=desc.dtype))
+        write_block(scratch, desc, b,
+                    np.asarray(data[lo:hi], dtype=desc.dtype),
+                    metrics=metrics)
 
 
-def read_array(scratch: Path, desc: ArrayDesc) -> np.ndarray:
-    """Load a whole array from its backing file."""
-    return np.concatenate([read_block(scratch, desc, b) for b in desc.blocks()])
+def read_array(scratch: Path, desc: ArrayDesc,
+               *, metrics: MetricsRegistry | None = None) -> np.ndarray:
+    """Load a whole array from its backing file(s)."""
+    return np.concatenate([
+        read_block(scratch, desc, b, metrics=metrics) for b in desc.blocks()
+    ])
 
 
 def delete_array_file(scratch: Path, name: str) -> None:
     path = array_path(scratch, name)
     if path.exists():
         os.unlink(path)
+    cdir = chunk_dir(scratch, name)
+    if cdir.is_dir():
+        shutil.rmtree(cdir, ignore_errors=True)
+
+
+def copy_array_files(src: Path, dst: Path, name: str) -> None:
+    """Re-seed an array's backing bytes into another scratch directory.
+
+    Used by node-loss recovery: whichever layout backs the array at the
+    source is reproduced at the destination, each file crash-atomically.
+    """
+    copied = False
+    spath = array_path(src, name)
+    if spath.exists():
+        atomic_write(array_path(dst, name), spath.read_bytes())
+        copied = True
+    sdir = chunk_dir(src, name)
+    if sdir.is_dir():
+        for chunk in sorted(sdir.iterdir()):
+            atomic_write(chunk_dir(dst, name) / chunk.name,
+                         chunk.read_bytes())
+        copied = True
+    if not copied:
+        raise BlockMissingError(
+            f"array {name!r} has no backing files under {src}")
 
 
 def discover_arrays(scratch: Path) -> list[str]:
@@ -161,15 +402,20 @@ def discover_arrays(scratch: Path) -> list[str]:
 
     Mirrors the paper's storage start-up: "the storage looks for files in
     that directory and records the name of the arrays as well as their
-    sizes".  Sizes come from the registered descriptors; we return names.
+    sizes".  Both layouts are discovered — raw ``.arr`` files and
+    compressed ``.arrc`` chunk directories.
     """
-    out = []
     root = Path(scratch)
     if not root.exists():
-        return out
-    for path in sorted(root.glob(f"*{_SUFFIX}")):
-        out.append(unescape_name(path.name[: -len(_SUFFIX)]))
-    return out
+        return []
+    names = set()
+    for path in root.glob(f"*{_SUFFIX}"):
+        if path.is_file():
+            names.add(unescape_name(path.name[: -len(_SUFFIX)]))
+    for path in root.glob(f"*{_CHUNK_SUFFIX}"):
+        if path.is_dir():
+            names.add(unescape_name(path.name[: -len(_CHUNK_SUFFIX)]))
+    return sorted(names)
 
 
 class IOFilter(Filter):
@@ -220,7 +466,10 @@ class IOFilter(Filter):
         """Run ``fn`` with fault injection and retry/backoff.
 
         Returns ``(result, None)`` on success or ``(None, error)`` once the
-        policy is exhausted (or a permanent fault is injected).
+        policy is exhausted (or a permanent fault is injected).  A
+        :class:`BlockMissingError` short-circuits the retry loop: the
+        block was never on disk, so no amount of backoff will produce it
+        — the named error reaches the storage layer on the first attempt.
         """
         last: BaseException | None = None
         for attempt in range(self.retry.attempts):
@@ -244,6 +493,9 @@ class IOFilter(Filter):
                     continue
             try:
                 return fn(), None
+            except BlockMissingError as exc:
+                last = exc
+                break  # retries cannot conjure never-written bytes
             except (OSError, StorageError) as exc:
                 last = exc
         self._inc("io_failures")
@@ -268,14 +520,16 @@ class IOFilter(Filter):
                 segment = cmd.get("segment") or ""
                 if segment and self.segment_pool is not None:
                     # Destination segment pre-allocated by the store:
-                    # readinto it directly, then hand back the sealed
-                    # (frozen) view.  The legacy copying plane never
-                    # combines with segments (the engine forbids it) —
-                    # a copy here would desynchronize handle and buffer.
+                    # readinto (or decode into) it directly, then hand
+                    # back the sealed (frozen) view.  The legacy copying
+                    # plane never combines with segments (the engine
+                    # forbids it) — a copy here would desynchronize
+                    # handle and buffer.
                     def _load_into(segment=segment):
                         out = self.segment_pool.ndarray(
                             segment, desc.block_length(block), desc.dtype)
-                        read_block_into(self.scratch, desc, block, out)
+                        read_block_into(self.scratch, desc, block, out,
+                                        metrics=self.metrics)
                         out.flags.writeable = False
                         return out
 
@@ -283,7 +537,8 @@ class IOFilter(Filter):
                         _load_into, op, desc, block, lane)
                 else:
                     data, error = self._attempt(
-                        lambda: read_block(self.scratch, desc, block),
+                        lambda: read_block(self.scratch, desc, block,
+                                           metrics=self.metrics),
                         op, desc, block, lane)
                 if error is None:
                     if self.legacy_copies and not segment:
@@ -297,7 +552,8 @@ class IOFilter(Filter):
                     continue
             elif op == "store":
                 _, error = self._attempt(
-                    lambda: write_block(self.scratch, desc, block, cmd["data"]),
+                    lambda: write_block(self.scratch, desc, block,
+                                        cmd["data"], metrics=self.metrics),
                     op, desc, block, lane)
                 if error is None:
                     tracer.complete(self.node, lane, "io", "write", start,

@@ -124,6 +124,66 @@ def optimal_io_seconds(total_bytes: float, iterations: int,
 
 
 @dataclass(frozen=True)
+class CodecBandwidthModel:
+    """Analytic cost of reading compressed sub-matrices off disk.
+
+    A logical read of ``L`` bytes under a codec with compression ratio
+    ``r`` (logical / physical) moves only ``L / r`` bytes through the
+    filesystem, then pays ``L / decode_bytes_per_s`` of CPU to inflate —
+    the effective bandwidth a solver experiences is the harmonic
+    composition::
+
+        effective_bw = 1 / (1 / (r * disk_bw) + 1 / decode_bw)
+
+    so compression wins exactly when the disk is slower than
+    ``(r - 1) x`` the decoder — the spinning-disk / GPFS regime the
+    paper targets — and loses on storage fast enough to outrun the
+    decode (NVMe vs single-thread DEFLATE).
+    """
+
+    name: str = "raw"
+    #: logical bytes per physical byte on disk (>= keeps time finite)
+    ratio: float = 1.0
+    #: single-stream decode throughput; 0 means decode is free (raw)
+    decode_bytes_per_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ratio <= 0:
+            raise ValueError("compression ratio must be positive")
+        if self.decode_bytes_per_s < 0:
+            raise ValueError("decode bandwidth must be non-negative")
+
+    def physical_bytes(self, logical_bytes: float) -> float:
+        return logical_bytes / self.ratio
+
+    def decode_seconds(self, logical_bytes: float) -> float:
+        if self.decode_bytes_per_s <= 0:
+            return 0.0
+        return logical_bytes / self.decode_bytes_per_s
+
+    def effective_read_bandwidth(self, disk_bytes_per_s: float) -> float:
+        """Logical bytes per second through read + decode, in steady state."""
+        if disk_bytes_per_s <= 0:
+            raise ValueError("disk bandwidth must be positive")
+        t = 1.0 / (self.ratio * disk_bytes_per_s)
+        if self.decode_bytes_per_s > 0:
+            t += 1.0 / self.decode_bytes_per_s
+        return 1.0 / t
+
+
+#: pinned model parameters per registered codec: DEFLATE-6 squeezes CSR
+#: sub-matrices harder but decodes around ~0.3 GB/s on one stream;
+#: shuffle+DEFLATE-1 trades a little ratio for a much cheaper decode.
+CODEC_MODELS: dict[str, CodecBandwidthModel] = {
+    "raw": CodecBandwidthModel(),
+    "zlib": CodecBandwidthModel("zlib", ratio=2.5,
+                                decode_bytes_per_s=0.3 * GB),
+    "shuffle-zlib": CodecBandwidthModel("shuffle-zlib", ratio=2.2,
+                                        decode_bytes_per_s=0.9 * GB),
+}
+
+
+@dataclass(frozen=True)
 class MemoryLayer:
     """One layer of Fig. 1's memory hierarchy."""
 

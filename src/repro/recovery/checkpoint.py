@@ -2,14 +2,17 @@
 
 Layout of a checkpoint directory::
 
-    ckpt-00000012-x.blk          raw little-endian payload of array "x"
+    ckpt-00000012-x.blk          encoded payload of array "x"
     ckpt-00000012-history.blk    ... one .blk file per state array ...
     ckpt-00000012.ckpt           JSON manifest, written LAST
 
-Every ``.blk`` payload and the manifest itself go through
+Payloads are encoded by the manager's codec (:mod:`repro.core.codecs`;
+``raw`` = little-endian bytes as before) and each manifest block entry
+records the codec name, so checkpoint directories self-describe.  Every
+``.blk`` payload and the manifest itself go through
 :func:`repro.util.atomicio.atomic_write` (temp file → fsync → rename), and
-the manifest — carrying a sha256 per payload — is written only after all
-payloads are durable.  A crash at any point therefore leaves either a
+the manifest — carrying a sha256 of each payload's on-disk bytes — is
+written only after all payloads are durable.  A crash at any point therefore leaves either a
 complete, verifiable checkpoint or no manifest for that step at all; a
 manifest whose checksums do not match (torn by a dying disk, truncated,
 bit-flipped) is *rejected* and :meth:`CheckpointManager.load_latest` falls
@@ -30,13 +33,15 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.errors import RecoveryError
+from repro.core.codecs import get_codec, resolve_codec
+from repro.core.errors import CodecError, CodecMismatchError, RecoveryError
 from repro.core.iofilter import escape_name, unescape_name
 from repro.util.atomicio import atomic_write
 
 __all__ = ["Checkpoint", "CheckpointManager", "rng_state", "restore_rng"]
 
 MANIFEST_RE = re.compile(r"^ckpt-(\d{8})\.ckpt$")
+PAYLOAD_RE = re.compile(r"^ckpt-(\d{8})-.+\.blk$")
 FORMAT_VERSION = 1
 
 
@@ -59,7 +64,7 @@ class CheckpointManager:
     """
 
     def __init__(self, directory: str | Path, *, keep: int = 2,
-                 tracer=None, node: int = -1):
+                 tracer=None, node: int = -1, codec: str | None = None):
         if keep < 1:
             raise ValueError("keep must be >= 1")
         self.dir = Path(directory)
@@ -67,6 +72,12 @@ class CheckpointManager:
         self.keep = keep
         self.tracer = tracer
         self.node = node
+        #: payload codec, snapshotted once at construction (None samples
+        #: DOOC_CODEC — the same snapshot rule as the engine's data
+        #: plane).  Manifests record the codec per payload; restoring a
+        #: checkpoint written under a *different* codec raises
+        #: :class:`CodecMismatchError` rather than guessing.
+        self.codec = resolve_codec(codec)
         self.writes = 0
 
     # -- paths ---------------------------------------------------------------
@@ -93,17 +104,22 @@ class CheckpointManager:
         """Persist one checkpoint; the manifest lands last, atomically."""
         if step < 0:
             raise ValueError("step must be non-negative")
+        codec = get_codec(self.codec)
         blocks = {}
         for name, value in arrays.items():
             arr = np.ascontiguousarray(value)
-            payload = arr.tobytes()
+            payload = codec.encode(arr.tobytes(), arr.dtype.itemsize)
             fname = self._block_name(step, name)
             atomic_write(self.dir / fname, payload)
+            # sha256 covers the *encoded* on-disk bytes: load verifies
+            # the file exactly as written, before any decode runs.
             blocks[name] = {
                 "file": fname,
                 "sha256": hashlib.sha256(payload).hexdigest(),
                 "dtype": str(arr.dtype),
                 "shape": list(arr.shape),
+                "codec": self.codec,
+                "raw_nbytes": arr.nbytes,
             }
         manifest = {
             "format": FORMAT_VERSION,
@@ -121,18 +137,45 @@ class CheckpointManager:
         self._prune(step)
         return path
 
+    def _referenced_payloads(self) -> set[str]:
+        """Payload file names claimed by any surviving (readable) manifest.
+
+        A manifest that does not parse contributes nothing here — but its
+        payloads are still swept below, because the reference set is
+        computed from what *survives*, not from what the stale manifest
+        happened to say.
+        """
+        files: set[str] = set()
+        for step in self.steps():
+            try:
+                entry = json.loads(self._manifest_path(step).read_text())
+                for b in entry.get("blocks", {}).values():
+                    files.add(str(b["file"]))
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+        return files
+
     def _prune(self, latest_step: int) -> None:
+        """Drop manifests beyond ``keep``, then sweep unreferenced payloads.
+
+        The old implementation deleted only the payloads the stale
+        manifest itself listed — so a manifest that had gone unreadable
+        (the very corruption ``load_latest`` falls back over) orphaned
+        its ``.blk`` payloads *forever*, and payloads from a save that
+        crashed before its manifest landed were never collected either.
+        Sweeping against the referenced-set of surviving manifests
+        guarantees the directory holds exactly the payloads some live
+        manifest names (for steps up to ``latest_step``).
+        """
         steps = [s for s in self.steps() if s <= latest_step]
         for stale in steps[: -self.keep] if len(steps) > self.keep else []:
-            manifest = self._manifest_path(stale)
-            try:
-                entry = json.loads(manifest.read_text())
-                files = [b["file"] for b in entry.get("blocks", {}).values()]
-            except (OSError, ValueError, KeyError, TypeError):
-                files = []
-            manifest.unlink(missing_ok=True)
-            for fname in files:
-                (self.dir / fname).unlink(missing_ok=True)
+            self._manifest_path(stale).unlink(missing_ok=True)
+        referenced = self._referenced_payloads()
+        for path in self.dir.iterdir():
+            m = PAYLOAD_RE.match(path.name)
+            if m and int(m.group(1)) <= latest_step \
+                    and path.name not in referenced:
+                path.unlink(missing_ok=True)
 
     # -- load ----------------------------------------------------------------
 
@@ -150,6 +193,13 @@ class CheckpointManager:
             raise RecoveryError(f"malformed manifest {path.name}")
         arrays: dict[str, np.ndarray] = {}
         for name, entry in manifest.get("blocks", {}).items():
+            entry_codec = entry.get("codec", "raw")  # pre-codec manifests
+            if entry_codec != self.codec:
+                raise CodecMismatchError(
+                    f"checkpoint step {step} stores {name!r} under codec "
+                    f"{entry_codec!r} but this manager restores with "
+                    f"{self.codec!r}; restore with the original codec or "
+                    "re-encode the checkpoint explicitly")
             blk = self.dir / entry["file"]
             try:
                 payload = blk.read_bytes()
@@ -158,8 +208,19 @@ class CheckpointManager:
             if hashlib.sha256(payload).hexdigest() != entry["sha256"]:
                 raise RecoveryError(
                     f"checksum mismatch on {blk.name} (step {step})")
+            dtype = np.dtype(entry["dtype"])
+            raw_nbytes = int(entry.get(
+                "raw_nbytes",
+                int(np.prod(entry["shape"], dtype=np.int64)) * dtype.itemsize))
+            try:
+                raw = get_codec(entry_codec).decode(
+                    payload, raw_nbytes, dtype.itemsize)
+            except CodecError as exc:
+                raise RecoveryError(
+                    f"payload {blk.name} does not decode (step {step}): "
+                    f"{exc}") from exc
             arrays[name] = np.frombuffer(
-                payload, dtype=entry["dtype"]).reshape(entry["shape"]).copy()
+                raw, dtype=dtype).reshape(entry["shape"]).copy()
         return Checkpoint(step=step, arrays=arrays,
                           extra=manifest.get("extra", {}))
 
@@ -172,6 +233,12 @@ class CheckpointManager:
         for step in reversed(self.steps()):
             try:
                 ckpt = self.load(step)
+            except CodecMismatchError:
+                # Not corruption: the checkpoint is intact but encoded
+                # under a different codec.  Falling back past it would
+                # silently restart from older state (or from scratch) —
+                # surface the named refusal instead.
+                raise
             except RecoveryError as exc:
                 if self.tracer is not None:
                     self.tracer.instant(self.node, "ckpt", "recovery",

@@ -28,14 +28,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict
 
 import numpy as np
 
 from repro.cluster.machine import SimCluster
 from repro.cluster.spec import ClusterSpec, carver_ssd_testbed
 from repro.faults import FaultPlan, RetryPolicy
-from repro.models.testbed import TestbedWorkload
+from repro.models.testbed import (
+    CODEC_MODELS,
+    CodecBandwidthModel,
+    TestbedWorkload,
+)
 from repro.sim.kernel import Environment
 from repro.sim.primitives import Barrier, Resource
 from repro.sim.trace import TraceRecorder
@@ -113,6 +116,11 @@ class TestbedRow:
     blocks_reconstructed: int = 0
     #: iteration-boundary checkpoint writes (``checkpoint_every`` runs only)
     checkpoint_writes: int = 0
+    #: sub-matrix codec the run was modeled under (see CODEC_MODELS)
+    codec: str = "raw"
+    #: physical bytes moved through the filesystem for sub-matrix reads
+    #: (== logical bytes / codec ratio; raw runs read logical bytes)
+    disk_bytes_read: float = 0.0
 
 
 class _Counter:
@@ -149,6 +157,7 @@ def run_testbed_spmv(
     io_retry: RetryPolicy | None = None,
     checkpoint_every: int | None = None,
     detection_s: float = 1.2,
+    codec: CodecBandwidthModel | str | None = None,
 ) -> TestbedRow:
     """Simulate one testbed run and return its table row.
 
@@ -169,6 +178,13 @@ def run_testbed_spmv(
     write-once recovery story).  Faults perturb *time only*; the computed
     row differs from a fault-free run solely in ``time_s`` and derived
     columns, never in dimension/nnz.
+
+    ``codec`` applies the compressed-bandwidth model
+    (:class:`~repro.models.testbed.CodecBandwidthModel`, or a name from
+    ``CODEC_MODELS``) to every sub-matrix read: the filesystem moves
+    ``logical / ratio`` bytes, then the node pays the decode time —
+    ``effective_bw = 1 / (1 / (ratio * disk_bw) + 1 / decode_bw)``.  The
+    row reports the codec and the physical ``disk_bytes_read``.
 
     ``FaultPlan.node_kill`` entries mirror the engine's permanent node
     loss: when a node's iteration count reaches its kill step, a buddy
@@ -244,6 +260,27 @@ def run_testbed_spmv(
 
     flow_cap = params.per_flow_cap_bytes
 
+    if codec is None:
+        codec = CODEC_MODELS["raw"]
+    elif isinstance(codec, str):
+        try:
+            codec = CODEC_MODELS[codec]
+        except KeyError:
+            raise ValueError(
+                f"unknown codec model {codec!r}: have {sorted(CODEC_MODELS)}"
+            ) from None
+    model = codec
+    io_totals = {"disk_bytes_read": 0.0}
+
+    def read_submatrix(node: int, nbytes: float, label: str):
+        """One sub-matrix filesystem read under the codec model."""
+        physical = model.physical_bytes(nbytes)
+        io_totals["disk_bytes_read"] += physical
+        yield cluster.fs_read(node, physical, label=label)
+        decode = model.decode_seconds(nbytes)
+        if decode > 0.0:
+            yield env.timeout(decode)
+
     # Fault mirror: same decision schema as the engine, on the sim clock.
     inject = faults is not None and faults.enabled
     retry = io_retry if io_retry is not None else RetryPolicy()
@@ -277,7 +314,7 @@ def run_testbed_spmv(
         fault_counts["nodes_lost"] += 1
         yield env.timeout(detection_s)
         for _ in range(subs_per_node):
-            yield cluster.fs_read(buddy, sub_bytes, label="reconstruct")
+            yield from read_submatrix(buddy, sub_bytes, "reconstruct")
         fault_counts["blocks_reconstructed"] += subs_per_node
         acting[node] = buddy
 
@@ -297,16 +334,16 @@ def run_testbed_spmv(
         fault_counts["checkpoint_writes"] += 1
 
     def fs_read(node: int, nbytes: float, label: str):
-        """``cluster.fs_read`` with FaultPlan-driven retry/re-execution."""
+        """Codec-modeled ``fs_read`` with FaultPlan-driven retry/re-execution."""
         if not inject:
-            yield cluster.fs_read(node, nbytes, label=label)
+            yield from read_submatrix(node, nbytes, label)
             return
         block = read_seq[node]
         read_seq[node] += 1
         for attempt in range(1, retry.attempts + 1):
             kind = faults.io_fault(node, "load", label, block, attempt)
             if kind is None:
-                yield cluster.fs_read(node, nbytes, label=label)
+                yield from read_submatrix(node, nbytes, label)
                 return
             fault_counts["faults_injected"] += 1
             if kind == "permanent":
@@ -320,7 +357,7 @@ def run_testbed_spmv(
         # re-read safe; a rerouted attempt reads from a healthy path).
         fault_counts["task_reexecutions"] += 1
         yield env.timeout(retry.delay(retry.attempts))
-        yield cluster.fs_read(node, nbytes, label=label)
+        yield from read_submatrix(node, nbytes, label)
 
     def send_vectors(src: int, dst: int, count: int, it: int, label: str):
         """Transfer ``count`` sub-vectors; returns when all arrive."""
@@ -478,6 +515,8 @@ def run_testbed_spmv(
         nodes_lost=fault_counts["nodes_lost"],
         blocks_reconstructed=fault_counts["blocks_reconstructed"],
         checkpoint_writes=fault_counts["checkpoint_writes"],
+        codec=model.name,
+        disk_bytes_read=io_totals["disk_bytes_read"],
     )
     if trace_sink is not None:
         trace_sink.append(trace)

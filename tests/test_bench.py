@@ -26,8 +26,8 @@ from repro.core.opcache import (
 WORKLOAD_FIELDS = {
     "config", "workers", "wall_seconds", "tasks", "tasks_per_second",
     "bytes_copied", "bytes_copied_per_task", "opcache", "loads", "spills",
-    "io_retries", "task_reexecutions", "phases", "bit_identical",
-    "max_abs_err",
+    "io_retries", "task_reexecutions", "io_bytes", "phases",
+    "bit_identical", "max_abs_err",
 }
 
 PHASE_FIELDS = {"task", "grant_wait", "load", "spill", "fetch_remote",

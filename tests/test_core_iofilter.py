@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.array import ArrayDesc
-from repro.core.errors import StorageError
+from repro.core.errors import BlockMissingError, StorageError
 from repro.core.iofilter import (
     IOFilter,
     array_path,
@@ -62,11 +62,26 @@ class TestBlockIO:
         with pytest.raises(StorageError):
             write_array(tmp_path, d, np.zeros(99))
 
-    def test_short_read_detected(self, tmp_path):
+    def test_never_written_block_is_a_missing_block(self, tmp_path):
+        # Seek past EOF means the block was never written — a
+        # reconstructable miss, not corruption (it used to masquerade as
+        # the same "short read" StorageError as a torn file).
         d = desc(length=100, block=40)
         write_block(tmp_path, d, 0, np.zeros(40))
-        with pytest.raises(StorageError, match="short read"):
+        with pytest.raises(BlockMissingError, match="never written"):
             read_block(tmp_path, d, 2)
+        with pytest.raises(BlockMissingError, match="no backing file"):
+            read_block(tmp_path, desc("ghost"), 0)
+
+    def test_short_read_detected(self, tmp_path):
+        # A file truncated *mid-block* is corruption, not a missing block.
+        d = desc(length=100, block=40)
+        write_block(tmp_path, d, 0, np.zeros(40))
+        path = array_path(tmp_path, d.name)
+        path.write_bytes(path.read_bytes()[:100])
+        with pytest.raises(StorageError, match="short read") as ei:
+            read_block(tmp_path, d, 0)
+        assert not isinstance(ei.value, BlockMissingError)
 
     def test_name_mangling_round_trips(self, tmp_path):
         d = ArrayDesc("dir/like\\name", length=10, block_elems=10)

@@ -89,7 +89,8 @@ class TestPermanentIOFaults:
         prog.add_task("t", lambda i, o, m: o["y"].__setitem__(
             slice(None), i["ghost"]), ["ghost"], ["y"])
         # Backing file exists but holds only half the bytes: block 1's
-        # load fails with "short read" on every attempt.
+        # offset is past EOF — a missing (never-written) block, which the
+        # I/O filter refuses to retry (retries cannot conjure bytes).
         path = array_path(scratch, "ghost")
         path.write_bytes(b"\x00" * (block * 8))
         eng = DOoCEngine(
@@ -99,7 +100,7 @@ class TestPermanentIOFaults:
         with pytest.raises(FilterError) as excinfo:
             eng.run(prog, timeout=60)
         assert not isinstance(excinfo.value, StallError)
-        assert "short read" in str(excinfo.value.cause)
+        assert "never written" in str(excinfo.value.cause)
 
     def test_worker_sees_io_failed_error(self, tmp_path):
         """The denied ticket reaches the worker as IOFailedError (visible
