@@ -1,12 +1,19 @@
 """Static and dynamic protocol checkers for the DOoC runtime.
 
-Two halves (see docs/ANALYSIS.md):
+Three layers (see docs/ANALYSIS.md):
 
-* **AST lint** (``python -m repro lint``): repo-specific rules
-  ``DOOC001``..``DOOC004`` over the source tree — ticket-leak, dropped
-  ``Effect`` lists, blocking-under-lock, trace-vocabulary enforcement —
-  with ``# dooc: noqa[CODE]`` suppressions (:mod:`repro.analysis.lint`,
-  :mod:`repro.analysis.rules`, :mod:`repro.analysis.cli`).
+* **AST lint** (``python -m repro lint``): per-file repo-specific rules
+  over the source tree — ticket-leak, dropped ``Effect`` lists,
+  blocking-under-lock, trace-vocabulary enforcement and friends — with
+  ``# dooc: noqa[CODE]`` suppressions (:mod:`repro.analysis.lint`,
+  :mod:`repro.analysis.rules`, :mod:`repro.analysis.cli`; run
+  ``--list-rules`` for the live catalog).
+
+* **Whole-program dataflow** (``python -m repro lint --deep``): a
+  module-aware call graph plus alias/escape summaries power the
+  interprocedural rules — sealed-view mutation escape, static
+  lock-order cycles, effect drops through helpers
+  (:mod:`repro.analysis.flow`).
 
 * **Runtime checkers** (``DOOC_CHECKERS=1``): a lock-order recorder that
   fails runs whose cross-thread lock acquisition graph contains a cycle
@@ -32,6 +39,8 @@ __all__ = [
     "lint_source",
     "lint_file",
     "lint_paths",
+    "analyze_sources",
+    "deep_lint_paths",
     "LockOrderRecorder",
     "LockOrderViolation",
     "TicketAuditor",
@@ -54,6 +63,8 @@ _LAZY = {
     "lint_source": "repro.analysis.lint",
     "lint_file": "repro.analysis.lint",
     "lint_paths": "repro.analysis.lint",
+    "analyze_sources": "repro.analysis.flow",
+    "deep_lint_paths": "repro.analysis.flow",
     "LockOrderRecorder": "repro.analysis.lockorder",
     "LockOrderViolation": "repro.analysis.lockorder",
     "TicketAuditor": "repro.analysis.tickets",

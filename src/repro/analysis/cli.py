@@ -4,6 +4,9 @@
     python -m repro lint src tests --json
     python -m repro lint src --select DOOC001,DOOC002
     python -m repro lint tests --strict     # disable per-dir relaxations
+    python -m repro lint src --deep         # + whole-program rules
+    python -m repro lint src --deep --sarif lint.sarif
+    python -m repro lint src --deep --write-baseline
 
 Exit status: 0 clean, 1 violations found, 2 usage error.
 """
@@ -12,11 +15,16 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
+from pathlib import Path
 
 from repro.analysis.lint import (
+    DEEP_RULES,
     DEFAULT_PATH_RELAXATIONS,
     RULES,
+    all_rules,
     lint_paths,
 )
 
@@ -27,11 +35,42 @@ def _codes(raw: str | None) -> list[str] | None:
     return [c.strip().upper() for c in raw.split(",") if c.strip()]
 
 
+def _rule_span() -> str:
+    """The live rule range for the help text, derived from the registry
+    so new rules can never drift the docs again."""
+    codes = sorted(all_rules())
+    return f"rules {codes[0]}..{codes[-1]}" if codes else "no rules"
+
+
+def rule_table_markdown() -> str:
+    """The docs/ANALYSIS.md rule table, generated from the registry."""
+    lines = [
+        "| Code | Name | Scope | What it catches |",
+        "|------|------|-------|-----------------|",
+        "| `DOOC000` | parse-error | file | File could not be parsed; "
+        "nothing else was checked. |",
+    ]
+    for code, rule in sorted(all_rules().items()):
+        scope = "program" if code in DEEP_RULES else "file"
+        lines.append(f"| `{code}` | {rule.name} | {scope} "
+                     f"| {rule.description} |")
+    return "\n".join(lines) + "\n"
+
+
+def _default_jobs() -> int:
+    return min(8, os.cpu_count() or 1)
+
+
 def main(argv: list[str] | None = None) -> int:
+    # Importing the rule modules populates both registries; the help
+    # text below is derived from them.
+    import repro.analysis.rules  # noqa: F401
+    import repro.analysis.flow.rules_deep  # noqa: F401
+
     parser = argparse.ArgumentParser(
         prog="python -m repro lint",
         description="Protocol-aware lint for the DOoC runtime "
-                    "(rules DOOC001..DOOC004; see docs/ANALYSIS.md).",
+                    f"({_rule_span()}; see docs/ANALYSIS.md).",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
@@ -39,40 +78,105 @@ def main(argv: list[str] | None = None) -> int:
                         help="comma-separated rule codes to run exclusively")
     parser.add_argument("--ignore", metavar="CODES",
                         help="comma-separated rule codes to skip")
+    parser.add_argument("--deep", action="store_true",
+                        help="also run the whole-program dataflow rules "
+                             "(call-graph + alias/escape analysis)")
     parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="emit violations as a JSON array")
+                        help="emit a JSON report (violations, file count, "
+                             "wall time)")
+    parser.add_argument("--sarif", metavar="FILE",
+                        help="write a SARIF 2.1.0 report to FILE "
+                             "('-' for stdout)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="process-pool width for the per-file scan "
+                             "(default: min(8, cpu count); 1 = serial)")
+    parser.add_argument("--baseline", metavar="FILE",
+                        default=".dooc-baseline.json",
+                        help="accepted-findings baseline to subtract "
+                             "(default: .dooc-baseline.json if present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report every finding, baseline or not")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record the current findings as the accepted "
+                             "baseline and exit 0")
     parser.add_argument("--strict", action="store_true",
                         help="disable the built-in per-directory "
                              "relaxations (tests/, benchmarks/, examples/)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    parser.add_argument("--rule-table", action="store_true",
+                        help="print the docs rule table (markdown) and exit")
     args = parser.parse_args(argv)
 
-    # Importing the rules module populates the registry.
-    import repro.analysis.rules  # noqa: F401
-
     if args.list_rules:
-        for code, rule in sorted(RULES.items()):
-            print(f"{code}  {rule.name}: {rule.description}")
+        for code, rule in sorted(all_rules().items()):
+            deep = "  [deep]" if code in DEEP_RULES else ""
+            print(f"{code}  {rule.name}: {rule.description}{deep}")
         for prefix, codes in sorted(DEFAULT_PATH_RELAXATIONS.items()):
             print(f"(default relaxation) {prefix}/: "
                   + ", ".join(sorted(codes)) + " off")
         return 0
 
+    if args.rule_table:
+        print(rule_table_markdown(), end="")
+        return 0
+
+    select = _codes(args.select)
+    ignore = _codes(args.ignore)
+    jobs = args.jobs if args.jobs is not None else _default_jobs()
+
+    started = time.monotonic()
     try:
-        violations = lint_paths(
-            args.paths,
-            select=_codes(args.select),
-            ignore=_codes(args.ignore),
-            strict=args.strict,
-        )
+        violations = lint_paths(args.paths, select=select, ignore=ignore,
+                                strict=args.strict, jobs=jobs)
+        if args.deep:
+            from repro.analysis.flow import deep_lint_paths
+            violations = violations + deep_lint_paths(
+                args.paths, select=select, ignore=ignore,
+                strict=args.strict)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    wall_time = time.monotonic() - started
+
+    from repro.analysis.lint import iter_python_files
+    n_files = len(iter_python_files(args.paths))
+
+    from repro.analysis.flow.baseline import (
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    if args.write_baseline:
+        n = write_baseline(args.baseline, violations)
+        print(f"baseline: wrote {n} finding(s) to {args.baseline}",
+              file=sys.stderr)
+        return 0
+    baselined = 0
+    if not args.no_baseline and Path(args.baseline).exists():
+        violations, baselined = apply_baseline(
+            violations, load_baseline(args.baseline))
+
+    active_rules = dict(RULES)
+    if args.deep:
+        active_rules.update(DEEP_RULES)
+    if args.sarif:
+        from repro.analysis.flow.sarif import render_sarif
+        text = render_sarif(violations, active_rules)
+        if args.sarif == "-":
+            print(text, end="")
+        else:
+            Path(args.sarif).write_text(text, encoding="utf-8")
 
     if args.as_json:
-        print(json.dumps([v.to_json() for v in violations], indent=2))
-    else:
+        print(json.dumps({
+            "violations": [v.to_json() for v in violations],
+            "files": n_files,
+            "wall_time_s": round(wall_time, 3),
+            "deep": args.deep,
+            "baselined": baselined,
+        }, indent=2))
+    elif args.sarif != "-":
         for v in violations:
             print(v.render())
         if violations:
@@ -80,7 +184,8 @@ def main(argv: list[str] | None = None) -> int:
             for v in violations:
                 counts[v.code] = counts.get(v.code, 0) + 1
             summary = ", ".join(f"{c} x{n}" for c, n in sorted(counts.items()))
-            print(f"{len(violations)} violation(s): {summary}",
+            suffix = f" ({baselined} baselined)" if baselined else ""
+            print(f"{len(violations)} violation(s): {summary}{suffix}",
                   file=sys.stderr)
     return 1 if violations else 0
 

@@ -1,0 +1,121 @@
+"""Whole-program dataflow analysis for the DOoC protocol (`lint --deep`).
+
+Where :mod:`repro.analysis.rules` checks one function at a time, this
+package builds a program-level view — a module-aware call graph
+(:mod:`~repro.analysis.flow.callgraph`) plus per-function alias/escape
+summaries (:mod:`~repro.analysis.flow.dataflow`) — and runs the three
+interprocedural rules (:mod:`~repro.analysis.flow.rules_deep`):
+
+* **DOOC010** sealed-view mutation escape,
+* **DOOC011** static lock-order cycles with call-path witnesses,
+* **DOOC012** interprocedural Effect-list drops.
+
+Entry points: :func:`analyze_sources` for in-memory snippets (tests) and
+:func:`deep_lint_paths` for file trees (the ``--deep`` CLI flag).  Both
+honour ``# dooc: noqa[CODE]`` suppressions and — unless ``strict`` or an
+explicit ``select`` is given — the same per-directory relaxations as the
+per-file pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable
+
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.dataflow import FunctionSummary, summarize
+from repro.analysis.lint import (
+    DEEP_RULES,
+    Violation,
+    _active_rules,
+    _path_relaxations,
+    _suppressed,
+    _suppressions,
+    iter_python_files,
+)
+
+__all__ = ["Program", "build_program", "analyze_sources", "deep_lint_paths"]
+
+
+@dataclass
+class Program:
+    """The whole-program index the deep rules run over."""
+
+    graph: CallGraph
+    #: qualname -> dataflow summary
+    summaries: dict[str, FunctionSummary] = field(default_factory=dict)
+    #: path -> raw source (for noqa suppression)
+    sources: dict[str, str] = field(default_factory=dict)
+
+
+def build_program(sources: dict[str, str]) -> Program:
+    """Parse ``{path: source}`` and build the call graph + summaries.
+
+    Unparseable files are skipped silently — the per-file pass already
+    reports them as ``DOOC000``.
+    """
+    trees: dict[str, ast.Module] = {}
+    for path, text in sources.items():
+        try:
+            trees[path] = ast.parse(text, filename=path)
+        except SyntaxError:
+            continue
+    graph = CallGraph.build(trees)
+    program = Program(graph, sources=dict(sources))
+    for qual, info in graph.functions.items():
+        program.summaries[qual] = summarize(info, graph)
+    return program
+
+
+def analyze_sources(sources: dict[str, str], *,
+                    select: Iterable[str] | None = None,
+                    ignore: Iterable[str] | None = None,
+                    strict: bool = False) -> list[Violation]:
+    """Run the deep rules over in-memory sources; returns sorted,
+    unsuppressed violations."""
+    # Registration side effect, same pattern as the per-file rules.
+    import repro.analysis.flow.rules_deep  # noqa: F401
+
+    program = build_program(sources)
+    noqa = {path: _suppressions(text) for path, text in sources.items()}
+    out: list[Violation] = []
+    for rule in _active_rules(DEEP_RULES, select, ignore):
+        for v in rule.check(program):
+            if _suppressed(v, noqa.get(v.path, {})):
+                continue
+            if (not strict and select is None
+                    and v.code in _path_relaxations(Path(v.path))):
+                continue
+            out.append(v)
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return _dedupe(out)
+
+
+def deep_lint_paths(paths: Iterable["Path | str"], *,
+                    select: Iterable[str] | None = None,
+                    ignore: Iterable[str] | None = None,
+                    strict: bool = False) -> list[Violation]:
+    """Run the deep rules over every ``.py`` file under ``paths``.
+
+    The whole file set forms ONE program: a sealed view produced in
+    ``src/repro/core`` and mutated in ``examples/`` is still caught.
+    """
+    sources = {
+        str(p): p.read_text(encoding="utf-8")
+        for p in iter_python_files(paths)
+    }
+    return analyze_sources(sources, select=select, ignore=ignore,
+                           strict=strict)
+
+
+def _dedupe(violations: list[Violation]) -> list[Violation]:
+    seen: set[tuple[str, str, int, int]] = set()
+    out: list[Violation] = []
+    for v in violations:
+        key = (v.code, v.path, v.line, v.col)
+        if key not in seen:
+            seen.add(key)
+            out.append(v)
+    return out

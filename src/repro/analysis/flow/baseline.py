@@ -1,0 +1,75 @@
+"""Accepted-findings baseline for ``repro lint``.
+
+A baseline lets a new rule land with known findings acknowledged instead
+of blocking CI: ``repro lint --deep --write-baseline`` records the
+current findings in ``.dooc-baseline.json``; later runs (``--baseline``,
+on by default when the file exists) subtract them and fail only on *new*
+findings.  Every baselined entry should carry a justification comment in
+the committed file's ``reason`` slot.
+
+Fingerprints are ``sha1(code | path | digit-stripped message)``: stable
+across pure line drift (the line number is stored for humans only) but
+invalidated when the rule's message for the finding genuinely changes —
+at which point the finding deserves a fresh look anyway.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+from collections.abc import Iterable
+
+from repro.analysis.lint import Violation
+
+__all__ = ["DEFAULT_BASELINE", "fingerprint", "load_baseline",
+           "write_baseline", "apply_baseline"]
+
+DEFAULT_BASELINE = ".dooc-baseline.json"
+
+_DIGITS = re.compile(r"\d+")
+
+
+def fingerprint(v: Violation) -> str:
+    path = v.path.replace("\\", "/").lstrip("./")
+    key = f"{v.code}|{path}|{_DIGITS.sub('', v.message)}"
+    return hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: Path | str) -> set[str]:
+    """Fingerprints in a baseline file; an absent file is an empty set."""
+    p = Path(path)
+    if not p.exists():
+        return set()
+    payload = json.loads(p.read_text(encoding="utf-8"))
+    return {entry["fingerprint"] for entry in payload.get("findings", [])}
+
+
+def write_baseline(path: Path | str, violations: Iterable[Violation],
+                   *, reason: str = "accepted pre-existing finding") -> int:
+    """Write ``violations`` as the new baseline; returns the entry count."""
+    findings = [
+        {
+            "code": v.code,
+            "path": v.path.replace("\\", "/").lstrip("./"),
+            "line": v.line,
+            "fingerprint": fingerprint(v),
+            "message": v.message,
+            "reason": reason,
+        }
+        for v in violations
+    ]
+    payload = {"version": 1, "findings": findings}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+    return len(findings)
+
+
+def apply_baseline(violations: list[Violation],
+                   accepted: set[str]) -> tuple[list[Violation], int]:
+    """(non-baselined violations, count of suppressed findings)."""
+    if not accepted:
+        return violations, 0
+    kept = [v for v in violations if fingerprint(v) not in accepted]
+    return kept, len(violations) - len(kept)

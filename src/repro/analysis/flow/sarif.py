@@ -1,0 +1,71 @@
+"""SARIF 2.1.0 export for ``repro lint`` findings.
+
+SARIF is the interchange format CI code-scanning UIs ingest; emitting it
+lets the deep-lint job upload its findings as a reviewable artifact
+(`repro lint --deep --sarif lint.sarif`).  Only the fields consumers
+actually read are emitted: the tool driver with its rule catalog, and one
+``result`` per violation with a physical location.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping
+
+from repro.analysis.lint import Rule, Violation
+
+__all__ = ["sarif_report", "render_sarif"]
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+           "Schemata/sarif-schema-2.1.0.json")
+
+
+def sarif_report(violations: Iterable[Violation],
+                 rules: Mapping[str, Rule]) -> dict:
+    """A SARIF 2.1.0 log dict for the given findings."""
+    driver_rules = [
+        {
+            "id": code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+        }
+        for code, rule in sorted(rules.items())
+    ]
+    results = [
+        {
+            "ruleId": v.code,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": v.path.replace("\\", "/").lstrip("./"),
+                    },
+                    "region": {
+                        "startLine": max(v.line, 1),
+                        "startColumn": v.col + 1,
+                    },
+                },
+            }],
+        }
+        for v in violations
+    ]
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri": "docs/ANALYSIS.md",
+                    "rules": driver_rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(violations: Iterable[Violation],
+                 rules: Mapping[str, Rule]) -> str:
+    return json.dumps(sarif_report(violations, rules), indent=2) + "\n"

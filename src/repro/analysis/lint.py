@@ -5,11 +5,13 @@ knows about: tickets from ``request_read``/``request_write`` must reach a
 ``release`` on every path, ``LocalStore`` methods return ``Effect`` lists
 that the driver must execute, blocking calls must not run under runtime
 locks, and trace event names must come from the central vocabulary
-(:mod:`repro.obs.vocab`).  This module provides the machinery — rule
-registry, ``# dooc: noqa[CODE]`` suppressions, path walking, human/JSON
-output — and :mod:`repro.analysis.rules` provides the repo-specific rules
-(codes ``DOOC001``..``DOOC004``; ``DOOC000`` is reserved for files the
-analyzer cannot parse).
+(:mod:`repro.obs.vocab`).  This module provides the machinery — the
+per-file and whole-program rule registries, ``# dooc: noqa[CODE]``
+suppressions, path walking with an optional process-pool fan-out —
+while :mod:`repro.analysis.rules` provides the per-file rules and
+:mod:`repro.analysis.flow.rules_deep` the interprocedural ones
+(``DOOC000`` is reserved for files the analyzer cannot parse; run
+``python -m repro lint --list-rules`` for the live catalog).
 
 Run it as ``python -m repro lint [paths]`` (see :mod:`repro.analysis.cli`)
 or call :func:`lint_paths` / :func:`lint_source` directly from tests.
@@ -27,7 +29,9 @@ __all__ = [
     "Violation",
     "Rule",
     "RULES",
+    "DEEP_RULES",
     "register",
+    "register_deep",
     "lint_source",
     "lint_file",
     "lint_paths",
@@ -47,11 +51,14 @@ DEFAULT_PATH_RELAXATIONS: dict[str, frozenset[str]] = {
     # deliberately torn .blk/.ckpt files to prove recovery rejects them.
     # DOOC007 likewise: corruption tests may hand-craft broken compressed
     # streams without routing them through the codec registry.
+    # The deep rules (DOOC010..DOOC012) are relaxed there too: the
+    # zero-copy tests mutate sealed views *on purpose* to prove the
+    # runtime raises, and storage unit tests poke effect lists directly.
     "tests": frozenset({"DOOC001", "DOOC002", "DOOC004", "DOOC005",
-                        "DOOC007"}),
+                        "DOOC007", "DOOC010", "DOOC011", "DOOC012"}),
     "benchmarks": frozenset({"DOOC001", "DOOC002", "DOOC004", "DOOC005",
-                             "DOOC007"}),
-    "examples": frozenset({"DOOC001", "DOOC002"}),
+                             "DOOC007", "DOOC010", "DOOC011", "DOOC012"}),
+    "examples": frozenset({"DOOC001", "DOOC002", "DOOC012"}),
 }
 
 
@@ -96,17 +103,40 @@ class Rule:
 #: code -> rule; populated by :func:`register` (see repro.analysis.rules)
 RULES: dict[str, Rule] = {}
 
+#: code -> whole-program rule; populated by :func:`register_deep` (see
+#: repro.analysis.flow.rules_deep).  Deep rules receive a
+#: :class:`repro.analysis.flow.Program` instead of a single module and
+#: only run under ``lint --deep``.
+DEEP_RULES: dict[str, Rule] = {}
 
-def register(code: str, name: str, description: str):
-    """Class/function decorator adding a checker to the registry."""
 
-    def deco(fn: Callable[[ast.Module, str], "Iterable[Violation]"]):
-        if code in RULES:
+def _register_into(registry: dict[str, Rule], code: str, name: str,
+                   description: str):
+    def deco(fn):
+        if code in RULES or code in DEEP_RULES:
             raise ValueError(f"rule code {code} registered twice")
-        RULES[code] = Rule(code, name, description, fn)
+        registry[code] = Rule(code, name, description, fn)
         return fn
 
     return deco
+
+
+def register(code: str, name: str, description: str):
+    """Class/function decorator adding a per-file checker to the registry."""
+    return _register_into(RULES, code, name, description)
+
+
+def register_deep(code: str, name: str, description: str):
+    """Decorator adding a whole-program checker (``lint --deep``)."""
+    return _register_into(DEEP_RULES, code, name, description)
+
+
+def all_rules() -> dict[str, Rule]:
+    """Every registered rule, per-file and deep, after importing both
+    rule modules (the registries populate on import)."""
+    import repro.analysis.rules  # noqa: F401
+    import repro.analysis.flow.rules_deep  # noqa: F401
+    return {**RULES, **DEEP_RULES}
 
 
 # -- suppressions -----------------------------------------------------------
@@ -140,14 +170,22 @@ def _suppressed(v: Violation,
 # -- running ----------------------------------------------------------------
 
 
-def _active_rules(select: Iterable[str] | None,
+def _active_rules(registry: dict[str, Rule],
+                  select: Iterable[str] | None,
                   ignore: Iterable[str] | None) -> list[Rule]:
-    selected = set(select) if select else set(RULES)
+    """Rules of ``registry`` left active by select/ignore.
+
+    Codes are validated against *every* registered rule (per-file and
+    deep), so ``--select DOOC010`` is legal for the per-file pass — it
+    just activates nothing there.
+    """
+    known = set(all_rules()) | {PARSE_ERROR_CODE}
+    selected = set(select) if select else set(registry)
     ignored = set(ignore) if ignore else set()
-    unknown = (selected | ignored) - set(RULES) - {PARSE_ERROR_CODE}
+    unknown = (selected | ignored) - known
     if unknown:
         raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
-    return [RULES[c] for c in sorted(selected - ignored)]
+    return [registry[c] for c in sorted((selected - ignored) & set(registry))]
 
 
 def lint_source(source: str, path: str = "<string>", *,
@@ -165,7 +203,7 @@ def lint_source(source: str, path: str = "<string>", *,
                           f"could not parse file: {exc.msg}")]
     noqa = _suppressions(source)
     out: list[Violation] = []
-    for rule in _active_rules(select, ignore):
+    for rule in _active_rules(RULES, select, ignore):
         for v in rule.check(tree, path):
             if not _suppressed(v, noqa):
                 out.append(v)
@@ -213,13 +251,43 @@ def iter_python_files(paths: Iterable["Path | str"]) -> list[Path]:
     return out
 
 
+def _lint_file_task(args: tuple) -> list[Violation]:
+    """Process-pool entry: lint one file from picklable arguments."""
+    path, select, ignore, strict = args
+    return lint_file(path, select=select, ignore=ignore, strict=strict)
+
+
+#: below this many files the pool's spawn cost outweighs the win
+_PARALLEL_THRESHOLD = 16
+
+
 def lint_paths(paths: Iterable["Path | str"], *,
                select: Iterable[str] | None = None,
                ignore: Iterable[str] | None = None,
-               strict: bool = False) -> list[Violation]:
-    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+               strict: bool = False,
+               jobs: int = 1) -> list[Violation]:
+    """Lint every ``.py`` file under ``paths`` (files or directories).
+
+    ``jobs > 1`` fans the per-file scan over a process pool.  Output is
+    deterministic either way: files are visited in sorted path order and
+    results are collected in submission order, so the violation list is
+    byte-identical to a serial run.
+    """
+    files = iter_python_files(paths)
+    select_t = tuple(select) if select else None
+    ignore_t = tuple(ignore) if ignore else None
+    if jobs > 1 and len(files) >= _PARALLEL_THRESHOLD:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            tasks = [(str(f), select_t, ignore_t, strict) for f in files]
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                chunks = list(pool.map(_lint_file_task, tasks,
+                                       chunksize=max(1, len(tasks) // (jobs * 4))))
+            return [v for chunk in chunks for v in chunk]
+        except (OSError, ImportError):  # pragma: no cover - no fork/semaphores
+            pass  # sandboxed environments: fall through to the serial scan
     out: list[Violation] = []
-    for path in iter_python_files(paths):
-        out.extend(lint_file(path, select=select, ignore=ignore,
+    for path in files:
+        out.extend(lint_file(path, select=select_t, ignore=ignore_t,
                              strict=strict))
     return out

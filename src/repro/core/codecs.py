@@ -161,7 +161,11 @@ class ShuffleZlibCodec(Codec):
     @staticmethod
     def _unshuffle_into(raw: bytes, out: memoryview, itemsize: int) -> None:
         planes = np.frombuffer(raw, dtype=np.uint8).reshape(itemsize, -1)
-        np.frombuffer(out, dtype=np.uint8)[:] = planes.T.reshape(-1)
+        # Scatter straight into the caller's buffer.  np.asarray (not
+        # np.frombuffer) is deliberate: frombuffer views are sealed by
+        # data-plane convention (DOOC010), while this is the one place a
+        # decode writes into caller-owned writable scratch.
+        np.asarray(out)[:] = planes.T.reshape(-1)
 
     def encode(self, data, itemsize: int = 1) -> bytes:
         data = memoryview(data).cast("B")

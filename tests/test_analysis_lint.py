@@ -370,7 +370,10 @@ def test_cli_flags_seeded_file_with_json(tmp_path, capsys):
     rc = lint_main(["--json", str(bad)])
     assert rc == 1
     payload = json.loads(capsys.readouterr().out)
-    assert [v["code"] for v in payload] == ["DOOC001"]
+    assert [v["code"] for v in payload["violations"]] == ["DOOC001"]
+    assert payload["files"] == 1
+    assert payload["wall_time_s"] >= 0
+    assert payload["deep"] is False
 
 
 def test_cli_list_rules(capsys):
