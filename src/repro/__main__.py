@@ -8,6 +8,11 @@
     python -m repro lint src tests
     python -m repro bench --quick
     python -m repro bench --check --tolerance 25
+    python -m repro serve --port 8787
+    python -m repro submit --kind cg --n 256 --wait
+    python -m repro status j0001 --trace
+    python -m repro cancel j0001
+    python -m repro sweep --dry-run
 """
 
 from __future__ import annotations
@@ -32,6 +37,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "bench":
         from repro.bench.cli import main as bench_main
         return bench_main(argv[1:])
+    if argv and argv[0] in ("serve", "submit", "status", "cancel", "sweep"):
+        from repro.server import cli as server_cli
+        return getattr(server_cli, f"{argv[0]}_main")(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures of Zhou et al., ICPP 2012.",

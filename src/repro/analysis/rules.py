@@ -552,3 +552,43 @@ def check_direct_compression(tree: ast.Module, path: str) -> Iterator[Violation]
                 "would no longer name the codec and DOOC_CODEC would not "
                 "apply); encode/decode through repro.core.codecs instead",
             )
+
+
+# -- DOOC013: time.sleep in the job-server control plane -----------------------
+
+#: directory whose modules must wait on Event/Condition, never sleep
+_SERVER_HOME = ("repro", "server")
+
+
+def _is_server_module(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    return tuple(parts[-3:-1]) == _SERVER_HOME
+
+
+@register(
+    "DOOC013",
+    "sleep-in-server",
+    "time.sleep(...) inside repro/server; the job service's control plane "
+    "must park on threading.Event/Condition waits so drains, deadlines and "
+    "cancels can interrupt it — a sleeping thread ignores SIGTERM for the "
+    "rest of its nap",
+)
+def check_server_sleep(tree: ast.Module, path: str) -> Iterator[Violation]:
+    if not _is_server_module(path):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        named_sleep = (isinstance(fn, ast.Attribute) and fn.attr == "sleep"
+                       and isinstance(fn.value, ast.Name)
+                       and fn.value.id == "time")
+        bare_sleep = isinstance(fn, ast.Name) and fn.id == "sleep"
+        if not (named_sleep or bare_sleep):
+            continue
+        yield Violation(
+            "DOOC013", path, node.lineno, node.col_offset,
+            "time.sleep() in the job server blocks deadlines, preemption "
+            "and SIGTERM drain for its full duration; wait on a "
+            "threading.Event/Condition with a timeout instead",
+        )

@@ -25,6 +25,7 @@ every protocol path of the paper executes, just without a physical wire.
 
 from __future__ import annotations
 
+import itertools
 import os
 import shutil
 import tempfile
@@ -39,10 +40,12 @@ import numpy as np
 from repro.core.array import ArrayDesc
 from repro.core.dag import TaskDAG
 from repro.core.directory import DirectoryClient, LookupFailed
+from repro.core.cancel import CancelToken
 from repro.core.errors import (
     DoocError,
     IOFailedError,
     NodeLostError,
+    RunCancelled,
     SchedulingError,
     StallError,
     StorageError,
@@ -1126,6 +1129,10 @@ class _LocalSchedulerFilter(Filter):
         self._inflight = 0
         self._completions = 0
         self._stall = 0
+        #: a cancel drain is underway: no dispatch, no retries, no
+        #: escalation — only in-flight work finishes
+        self._cancelling = False
+        self._drain_acked = False
 
     def _on_storage_note(self, msg: dict) -> None:
         """A push notification from storage (not a map reply)."""
@@ -1214,8 +1221,8 @@ class _LocalSchedulerFilter(Filter):
                 return
 
     def _dispatch(self, ctx: FilterContext) -> None:
-        if self._dying:
-            return  # no new work on a node that is about to die
+        if self._dying or self._cancelling:
+            return  # no new work on a node that is dying or draining
         while self._idle and self.core.ready_count:
             resident = self._query_map(ctx)
             # Keep upcoming tasks warm regardless of whether we dispatch.
@@ -1281,6 +1288,11 @@ class _LocalSchedulerFilter(Filter):
         self._inflight -= 1
         task: TaskSpec = msg["task"]
         attempt: int = msg["attempt"]
+        if self._cancelling:
+            # The run is being torn down: a failed attempt needs neither a
+            # retry nor an escalation, only its inflight slot back.
+            self._attempts.pop(task.name, None)
+            return
         if attempt < self.max_attempts:
             # Write-once makes re-execution safe: the failed attempt
             # published nothing, so the task simply becomes ready again.
@@ -1304,6 +1316,24 @@ class _LocalSchedulerFilter(Filter):
         ctx.write("to_gsched", DataBuffer(
             {"op": "failed", "task": task.name, "node": self.node,
              "error": msg["error"]}))
+
+    def _begin_cancel_drain(self, ctx: FilterContext) -> None:
+        """Global scheduler asked for a cancel drain: discard queued
+        ready work (no worker ever saw it, so dropping it is safe) and
+        let only in-flight tasks run to completion."""
+        self._cancelling = True
+        for t in list(self.core.pending_tasks()):
+            self.core.claim(t.name)
+        self._maybe_ack_drain(ctx)
+
+    def _maybe_ack_drain(self, ctx: FilterContext) -> None:
+        """Tell the global scheduler this node is quiescent (once)."""
+        if (self._cancelling and not self._drain_acked
+                and self._inflight == 0):
+            self._drain_acked = True
+            self.tracer.instant(self.node, "sched", "run", "cancel_drain")
+            ctx.write("to_gsched", DataBuffer(
+                {"op": "cancel_drained", "node": self.node}))
 
     def process(self, ctx: FilterContext) -> None:
         self._maybe_beat(ctx)
@@ -1338,6 +1368,9 @@ class _LocalSchedulerFilter(Filter):
             if port == "in":
                 if msg["op"] == "shutdown":
                     break
+                if msg["op"] == "cancel":
+                    self._begin_cancel_drain(ctx)
+                    continue
                 if msg["op"] == "gc":
                     ctx.write("to_storage", DataBuffer(
                         {"op": "delete", "array": msg["array"]}))
@@ -1348,6 +1381,8 @@ class _LocalSchedulerFilter(Filter):
                     # re-dispatched task.
                     ctx.write("to_storage", DataBuffer(msg))
                     continue
+                if self._cancelling:
+                    continue  # a task dispatched before the cancel crossed it
                 self.core.add_ready(msg["task"])
             elif port == "from_storage":
                 self._on_storage_note(msg)  # wake/dropped; then re-dispatch
@@ -1358,6 +1393,7 @@ class _LocalSchedulerFilter(Filter):
                     self._on_failed(ctx, msg)
                 else:  # done
                     self._on_done(ctx, msg)
+                self._maybe_ack_drain(ctx)
             self._dispatch(ctx)
         # Wind down: workers are idle by construction (the global scheduler
         # only announces shutdown once the DAG is complete).
@@ -1400,13 +1436,18 @@ class _GlobalSchedulerFilter(Filter):
 
     inputs = ("in",)
 
+    #: how often the scheduler re-checks an armed cancel token while
+    #: blocked on its control stream (only paid when a token is passed)
+    CANCEL_POLL_S = 0.05
+
     def __init__(self, dag: TaskDAG, assignment: dict[str, int], n_nodes: int,
                  *, gc_arrays: bool = False,
                  homes: dict[str, int] | None = None,
                  max_reroutes: int | None = None,
                  tracer: Tracer | None = None,
                  membership: MembershipTracker | None = None,
-                 recovery: "_RecoveryContext | None" = None):
+                 recovery: "_RecoveryContext | None" = None,
+                 cancel: "CancelToken | None" = None):
         self.dag = dag
         self.assignment = assignment
         self.n_nodes = n_nodes
@@ -1419,6 +1460,14 @@ class _GlobalSchedulerFilter(Filter):
         #: heartbeat-driven failure detector (None = node loss not tracked)
         self.membership = membership
         self.recovery = recovery
+        #: cooperative cancellation token (None = run to completion)
+        self.cancel = cancel
+        #: did this scheduler actually drain the run for a cancel?  The
+        #: engine keys RunCancelled off this, not off the raw token, so a
+        #: token set after the DAG completed does not fail a finished run.
+        self.cancelled = False
+        #: nodes whose drain acknowledgement is still outstanding
+        self._cancel_pending: set[int] = set()
         self.outputs = tuple(f"out_{i}" for i in range(n_nodes))
         self._consumers_left: dict[str, int] = {}
         self._tried: dict[str, set[int]] = {}  # task -> nodes that failed it
@@ -1551,6 +1600,13 @@ class _GlobalSchedulerFilter(Filter):
         survivors.  Write-once makes all of it safe: replays produce the
         same bytes, and no survivor cache needs invalidation.
         """
+        if self.cancelled:
+            # The run is being torn down anyway: no reconstruction, just
+            # stop survivors probing the corpse and stop waiting for its
+            # drain ack (its in-flight work died with it).
+            self._broadcast(ctx, {"op": "evict", "node": dead})
+            self._cancel_pending.discard(dead)
+            return
         rc = self.recovery
         plan = plan_reconstruction(
             self.dag, self.homes, self.assignment, dead,
@@ -1653,28 +1709,66 @@ class _GlobalSchedulerFilter(Filter):
             "local schedulers vanished before the DAG completed"
         )
 
+    def _begin_cancel(self, ctx: FilterContext) -> None:
+        """The token fired: stop dispatching and ask every node to drain.
+
+        The drain request goes to local schedulers, never to storage:
+        each node finishes (only) its in-flight tasks, acks, and the
+        normal shutdown broadcast below runs once every ack is in — so
+        storage still drains strictly after all workers everywhere are
+        idle, same as a completed run.
+        """
+        self.cancelled = True
+        self._cancel_pending = set(self._live_nodes())
+        reason = self.cancel.reason if self.cancel is not None else "cancelled"
+        self.tracer.instant(-1, "gsched", "run", "run_cancel", reason=reason)
+        self._broadcast(ctx, {"op": "cancel"})
+
     def process(self, ctx: FilterContext) -> None:
-        for name in sorted(self.dag.ready_tasks()):
-            self._send(ctx, name)
+        if self.cancel is not None and self.cancel.is_set():
+            # Cancelled before dispatch: nothing runs, but the drain
+            # handshake still happens so the exit path is the same.
+            self._begin_cancel(ctx)
+        else:
+            for name in sorted(self.dag.ready_tasks()):
+                self._send(ctx, name)
         poll_s = (self.membership.config.poll_s
                   if self.membership is not None else None)
-        while not (self.dag.done and not self._replaying):
+        wait_s = poll_s
+        if self.cancel is not None:
+            wait_s = (self.CANCEL_POLL_S if poll_s is None
+                      else min(poll_s, self.CANCEL_POLL_S))
+        while True:
+            if self.cancelled:
+                if not self._cancel_pending:
+                    break  # every node drained: run the normal wind-down
+            elif self.dag.done and not self._replaying:
+                break
             if self.membership is not None:
                 now = time.monotonic()
                 if now - self._last_check >= poll_s:
                     self._last_check = now
                     self._check_membership(ctx)
+            if (self.cancel is not None and not self.cancelled
+                    and self.cancel.is_set()):
+                self._begin_cancel(ctx)
+                continue
             try:
-                _port, buf = ctx.read_any(["in"], timeout=poll_s)
+                _port, buf = ctx.read_any(["in"], timeout=wait_s)
             except TimeoutError:
-                continue  # loop back through the membership check
+                continue  # loop back through the membership/cancel checks
             if buf is END_OF_STREAM:
                 self._all_vanished(ctx)
             msg = buf.payload
             if msg["op"] == "heartbeat":
                 self._heartbeat(ctx, msg["node"])
                 continue
+            if msg["op"] == "cancel_drained":
+                self._cancel_pending.discard(msg["node"])
+                continue
             if msg["op"] == "failed":
+                if self.cancelled:
+                    continue  # no reroutes for a run being torn down
                 self._reroute(ctx, msg)
                 continue
             if msg["task"] in self._replaying:
@@ -1692,13 +1786,14 @@ class _GlobalSchedulerFilter(Filter):
                 self._dup_ok.discard(msg["task"])
                 continue
             for newly in self.dag.mark_complete(msg["task"]):
-                self._send(ctx, newly)
+                if not self.cancelled:
+                    self._send(ctx, newly)
             if (self.recovery is not None
                     and self.recovery.lineage is not None):
                 self.recovery.lineage.record(
                     "complete", task=msg["task"],
                     node=self.assignment.get(msg["task"], -1))
-            if self.gc_arrays:
+            if self.gc_arrays and not self.cancelled:
                 self._collect(ctx, msg["task"])
         for i in range(self.n_nodes):
             ctx.write(f"out_{i}", DataBuffer({"op": "shutdown"}))
@@ -1767,6 +1862,14 @@ def default_worker_count() -> int:
     but never fewer than 2 (compute/copy overlap needs at least two) and
     never more than 8 (beyond that, GIL'd glue code dominates)."""
     return max(2, min(8, _available_cpus()))
+
+
+#: process-wide engine instance counter.  Stamped into every segment-pool
+#: tag so two engines running concurrently in one process (the job-server
+#: pool) can never mint the same /dev/shm name: pool names are
+#: ``dooc-seg-<pid>-e<engine>r<run>-<seq>`` — unique per (process,
+#: engine, run, allocation).  ``itertools.count`` is atomic under the GIL.
+_ENGINE_IDS = itertools.count(1)
 
 
 class DOoCEngine:
@@ -1879,14 +1982,17 @@ class DOoCEngine:
         #: None disables the watchdog entirely.
         self.watchdog_quiet_s = watchdog_quiet_s
         self.rng = RngTree(rng_seed)
+        self._engine_id = next(_ENGINE_IDS)
         self._scratch_finalizer = None
         if scratch_dir is None:
             # mkdtemp + a silent finalizer rather than TemporaryDirectory:
             # engines routinely live until garbage collection (fetch() reads
             # the scratch files after run()), and TemporaryDirectory's
             # implicit-cleanup ResourceWarning turns every such engine into
-            # noise under ``-W error::ResourceWarning``.
-            scratch_dir = tempfile.mkdtemp(prefix="dooc-")
+            # noise under ``-W error::ResourceWarning``.  The owning pid is
+            # stamped into the name so the stale-resource sweeper
+            # (repro.server.sweep) can tell an orphan from a live run's dir.
+            scratch_dir = tempfile.mkdtemp(prefix=f"dooc-{os.getpid()}-")
             self._scratch_finalizer = weakref.finalize(
                 self, shutil.rmtree, scratch_dir, True)
         self.scratch_root = Path(scratch_dir)
@@ -1946,7 +2052,8 @@ class DOoCEngine:
 
     # -- run ---------------------------------------------------------------------
 
-    def run(self, program: Program, *, timeout: float = 300.0) -> RunReport:
+    def run(self, program: Program, *, timeout: float = 300.0,
+            cancel: CancelToken | None = None) -> RunReport:
         auditor = None
         if self.protocol_checkers:
             from repro.analysis.dagcheck import validate_tasks
@@ -2003,7 +2110,11 @@ class DOoCEngine:
         proc_pool: ProcessWorkerPool | None = None
         if self.worker_plane == "process":
             self._run_seq += 1
-            self._segment_pool = SegmentPool(tag=f"r{self._run_seq}")
+            # e<engine>r<run>: two concurrent engines in one process get
+            # disjoint /dev/shm namespaces (a bare r<run> tag used to
+            # collide — both engines' first run minted dooc-seg-<pid>-r1-0).
+            self._segment_pool = SegmentPool(
+                tag=f"e{self._engine_id}r{self._run_seq}")
             proc_pool = ProcessWorkerPool(
                 self.n_nodes, self.workers_per_node, self.opcache_bytes)
             proc_pool.start()
@@ -2073,7 +2184,8 @@ class DOoCEngine:
         layout = self._build_layout(program, dag, assignment, directories,
                                     nbytes, injectors,
                                     membership_cfg=membership_cfg,
-                                    tracker=tracker, recovery=recovery_ctx)
+                                    tracker=tracker, recovery=recovery_ctx,
+                                    cancel=cancel)
         recorder = None
         if self.protocol_checkers:
             from repro.analysis.lockorder import LockOrderRecorder
@@ -2142,6 +2254,15 @@ class DOoCEngine:
                     f"{n} x{c}" for n, c in sorted(leaked_leases.items()))
                 raise SegmentLeakError(
                     f"segment leases leaked past the run: {detail}")
+        gsched_filter = runtime.instances["gsched"][0].filter
+        if getattr(gsched_filter, "cancelled", False):
+            # The scheduler drained the run for the token (the flag, not
+            # the raw token, is authoritative: a token set after the DAG
+            # completed must not fail a finished run).  Raised after the
+            # audits above, so a cancelled run is certified exactly as
+            # clean as a completed one.
+            reason = cancel.reason if cancel is not None else "cancelled"
+            raise RunCancelled(f"run cancelled: {reason}", reason=reason)
         wall = time.monotonic() - started
         metrics = {n: s.metrics.as_dict() for n, s in self.stores.items()}
         recovered = recovery_metrics.as_dict()
@@ -2195,6 +2316,7 @@ class DOoCEngine:
                       membership_cfg: MembershipConfig | None = None,
                       tracker: MembershipTracker | None = None,
                       recovery: _RecoveryContext | None = None,
+                      cancel: CancelToken | None = None,
                       ) -> Layout:
         n = self.n_nodes
         heartbeat_s = (membership_cfg.heartbeat_s
@@ -2204,7 +2326,8 @@ class DOoCEngine:
             "gsched", lambda: _GlobalSchedulerFilter(
                 dag, assignment, n, gc_arrays=self.gc_arrays,
                 homes=self._homes, max_reroutes=self.task_max_reroutes,
-                tracer=self.tracer, membership=tracker, recovery=recovery))
+                tracer=self.tracer, membership=tracker, recovery=recovery,
+                cancel=cancel))
         for node in range(n):
             store = self.stores[node]
             directory = directories[node]

@@ -89,6 +89,21 @@ class NodeLostError(StallError):
         self.lost_blocks = lost_blocks
 
 
+class RunCancelled(DoocError):
+    """A run was cooperatively cancelled through its :class:`CancelToken`.
+
+    Not a failure: the engine drained in-flight tasks, released every
+    ticket, spilled nothing torn, and left /dev/shm clean before raising.
+    ``reason`` carries the canceller's stated motive (user cancel,
+    deadline, preemption) so callers can map the cancellation onto their
+    own terminal states without string-matching the message.
+    """
+
+    def __init__(self, message: str, *, reason: str = "cancelled"):
+        super().__init__(message)
+        self.reason = reason
+
+
 class RecoveryError(DoocError):
     """Checkpoint/restart or lineage machinery failed (corrupt manifest...)."""
 

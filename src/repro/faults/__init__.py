@@ -28,6 +28,7 @@ from repro.faults.plan import (
     InjectedIOError,
     InjectedTaskCrash,
     RetryPolicy,
+    job_fault_plan,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "RetryPolicy",
     "InjectedIOError",
     "InjectedTaskCrash",
+    "job_fault_plan",
 ]

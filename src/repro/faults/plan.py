@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.util.rng import _digest_seed
 
@@ -13,6 +13,7 @@ __all__ = [
     "RetryPolicy",
     "InjectedIOError",
     "InjectedTaskCrash",
+    "job_fault_plan",
 ]
 
 _U53 = float(1 << 53)
@@ -154,6 +155,23 @@ class FaultPlan:
         """Does attempt ``attempt`` of ``task`` on ``node`` crash?"""
         return bool(self.task_crash and self._draw(
             "task", node, task, attempt) < self.task_crash)
+
+
+def job_fault_plan(base: FaultPlan, job_id: str, attempt: int = 1) -> FaultPlan:
+    """Derive a job's (attempt's) fault plan from a server-wide base plan.
+
+    The job server runs many engines against one configured plan; giving
+    every (job, attempt) pair its own derived seed keeps two properties
+    the fault suites rely on: determinism (the same server seed and job
+    id always replay the same faults — CI pins ``DOOC_FAULT_SEED``) and
+    independence (a fault that hit job A's run says nothing about job B,
+    and a *retry* of the same job re-draws instead of deterministically
+    re-hitting the identical transient fault forever).
+    """
+    if attempt < 1:
+        raise ValueError("attempt must be >= 1")
+    derived = _digest_seed(base.seed, "job", job_id, attempt) & 0xFFFFFFFF
+    return replace(base, seed=derived)
 
 
 class FaultInjector:

@@ -77,6 +77,21 @@ EVENTS: dict[str, tuple[str, str, str]] = {
     "checkpoint_reject": ("recovery", "i", "corrupt checkpoint skipped"),
     # -- run-level ----------------------------------------------------------
     "phase": ("run", "i", "run-level milestone (start/end, sim phases)"),
+    "run_cancel": ("run", "i", "cancel token seen; drain broadcast to nodes"),
+    "cancel_drain": ("run", "i", "a node finished its in-flight work after "
+                                 "a cancel and acknowledged the drain"),
+    # -- job server (repro.server) -------------------------------------------
+    "job_submit": ("job", "i", "server accepted a job submission"),
+    "job_reject": ("job", "i", "admission control rejected a job"),
+    "job_start": ("job", "i", "a queued job began executing"),
+    "job_done": ("job", "i", "a job finished and published its result"),
+    "job_failed": ("job", "i", "a job exhausted retries and failed"),
+    "job_retry": ("job", "i", "a job died to a transient fault; backing off"),
+    "job_cancelled": ("job", "i", "a job was cancelled by client or drain"),
+    "job_deadline": ("job", "i", "a job overran its deadline; run cancelled"),
+    "job_preempt": ("job", "i", "a running job was suspended to checkpoint"),
+    "job_resume": ("job", "i", "a preempted job resumed from checkpoint"),
+    "queue_depth": ("job", "C", "jobs waiting in the admission queue"),
 }
 
 #: the bare name set (what the lint rule checks membership against)

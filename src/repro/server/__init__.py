@@ -1,0 +1,51 @@
+"""DOoC-as-a-service: a multi-tenant job server over the DOoC engine.
+
+The paper's middleware assumes one well-behaved run per cluster; this
+package turns it into a long-lived service that accepts solver jobs
+(iterated SpMV, Jacobi, CG, Lanczos) from many concurrent clients and
+runs them on a pool of :class:`~repro.core.engine.DOoCEngine` runs under
+a fixed cluster memory budget.  The robustness core:
+
+* **admission control** — a job whose declared working set exceeds the
+  remaining budget is *rejected by name* (a 429-style structured
+  ``rejected(reason=...)``), never admitted to stall against the
+  watchdog; a saturated queue load-sheds the same way;
+* **per-tenant quotas and weighted fair share** — bounded queue slots
+  per tenant, and the scheduler picks runnable jobs by weighted deficit
+  (tenant weight over running share), not arrival order;
+* **deadlines** — a supervisor cancels the underlying run through its
+  :class:`~repro.core.cancel.CancelToken` and the job ends in a
+  structured ``deadline-exceeded`` state;
+* **retry with backoff** — jobs that die to transient faults re-run
+  under :class:`repro.faults.RetryPolicy` with a re-derived per-attempt
+  fault seed (:func:`repro.faults.job_fault_plan`);
+* **checkpoint-based preemption** — a higher-weight job can suspend a
+  running victim (cancel + chunk-boundary checkpoint via
+  :class:`repro.recovery.checkpoint.CheckpointManager`) and the victim
+  later resumes bit-identically; SIGTERM drains the whole server the
+  same way.
+
+See docs/SERVER.md for the HTTP API and lifecycle semantics.
+"""
+
+from repro.server.admission import AdmissionDecision, TenantQuota
+from repro.server.jobs import (
+    JOB_KINDS,
+    JobRecord,
+    JobSpec,
+    JobState,
+    estimate_working_set,
+)
+from repro.server.manager import JobManager, ServerConfig
+
+__all__ = [
+    "AdmissionDecision",
+    "TenantQuota",
+    "JOB_KINDS",
+    "JobSpec",
+    "JobState",
+    "JobRecord",
+    "estimate_working_set",
+    "JobManager",
+    "ServerConfig",
+]

@@ -1,0 +1,114 @@
+"""Admission control, per-tenant quotas, and weighted fair share.
+
+Pure decision logic: no locks, no threads, no clocks.  The
+:class:`~repro.server.manager.JobManager` owns the mutable queue and
+calls in here under its lock, so every rule is unit-testable with plain
+data.  The contract admission enforces is the robustness core of the
+service: a job the cluster cannot hold is **refused by name** at the
+door (a structured ``rejected(reason=...)``) instead of being admitted
+to wedge against the engine's memory budget and die as a watchdog stall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.server.jobs import JobRecord, JobSpec, JobState
+
+__all__ = ["TenantQuota", "AdmissionDecision", "admit", "fair_share_order"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant limits and scheduling weight.
+
+    ``weight`` drives both fair share (a weight-2 tenant gets twice the
+    running share of a weight-1 tenant under contention) and preemption
+    (only a strictly higher-weight job may suspend a running victim).
+    """
+
+    max_running: int = 2
+    max_queued: int = 8
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_running < 1 or self.max_queued < 0:
+            raise ValueError("max_running >= 1 and max_queued >= 0 required")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """``accepted`` or a structured refusal (the HTTP layer maps
+    ``rejected`` to a 429 with ``reason`` in the body)."""
+
+    accepted: bool
+    reason: str = ""
+
+    @staticmethod
+    def ok() -> "AdmissionDecision":
+        return AdmissionDecision(True)
+
+    @staticmethod
+    def rejected(reason: str) -> "AdmissionDecision":
+        return AdmissionDecision(False, reason)
+
+
+def admit(spec: JobSpec, *, budget: int, queue_len: int, max_queue: int,
+          tenant_queued: int, quota: TenantQuota,
+          draining: bool = False) -> AdmissionDecision:
+    """Should this submission enter the queue at all?
+
+    Order matters and is part of the contract: an impossible job (working
+    set over the *whole* cluster budget) is named as such even when the
+    queue also happens to be full — the client must learn it can never
+    run, not just retry later.
+    """
+    if draining:
+        return AdmissionDecision.rejected("server is draining")
+    ws = spec.working_set
+    if ws > budget:
+        return AdmissionDecision.rejected(
+            f"working set {ws} bytes exceeds the cluster memory budget "
+            f"{budget} bytes; this job can never be scheduled")
+    if queue_len >= max_queue:
+        return AdmissionDecision.rejected(
+            f"job queue is saturated ({queue_len}/{max_queue}); "
+            "load shedding — retry later")
+    if tenant_queued >= quota.max_queued:
+        return AdmissionDecision.rejected(
+            f"tenant {spec.tenant!r} queue quota exhausted "
+            f"({tenant_queued}/{quota.max_queued})")
+    return AdmissionDecision.ok()
+
+
+def fair_share_order(queued: list[JobRecord],
+                     running: list[JobRecord],
+                     quotas, default_quota: TenantQuota,
+                     now: float) -> list[JobRecord]:
+    """Queued jobs in the order the scheduler should try to start them.
+
+    Weighted deficit scheduling: each tenant's priority is
+    ``weight / (running_jobs + 1)``, so a tenant's claim shrinks as its
+    share grows and a heavier tenant overtakes a lighter one at equal
+    share.  Ties break by submission time then id — deterministic, so
+    two schedulers given the same state pick the same job.  Jobs inside
+    a retry-backoff window (``not_before`` in the future) sort last and
+    are skipped by the caller.
+    """
+    share: dict[str, int] = {}
+    for r in running:
+        if r.state == JobState.RUNNING:
+            share[r.spec.tenant] = share.get(r.spec.tenant, 0) + 1
+
+    def quota_of(tenant: str) -> TenantQuota:
+        return quotas.get(tenant, default_quota)
+
+    def key(r: JobRecord):
+        backing_off = r.not_before > now
+        priority = quota_of(r.spec.tenant).weight / (
+            share.get(r.spec.tenant, 0) + 1)
+        return (backing_off, -priority, r.submitted_at, r.id)
+
+    return sorted(queued, key=key)

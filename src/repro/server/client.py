@@ -1,0 +1,110 @@
+"""A tiny stdlib client for the job service (urllib only).
+
+Used by the CLI (``repro submit/status/cancel``), the CI smoke script,
+and the soak test.  ``wait_terminal`` long-polls the server's
+``?wait=`` parameter, so the client never spins: each request parks on
+the job's ``done_event`` server-side until the state is terminal.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.server.jobs import JobSpec
+
+__all__ = ["JobClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """A non-2xx response, with the server's structured body attached."""
+
+    def __init__(self, status: int, payload: dict):
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+class JobClient:
+    """Talk to a running :class:`~repro.server.http.DoocJobServer`."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8787",
+                 timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> dict | list:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(self.base_url + path, data=data,
+                                     headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, OSError):
+                payload = {"error": str(exc)}
+            raise ServerError(exc.code, payload) from exc
+
+    # -- API ---------------------------------------------------------------------
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except (ServerError, OSError):
+            return False
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def submit(self, spec: JobSpec | dict) -> dict:
+        """Submit; returns the job record.  A 429 rejection is returned
+        as a normal record (``state == "rejected"``), not raised — the
+        refusal is a structured outcome, not a transport error."""
+        body = spec.to_json() if isinstance(spec, JobSpec) else dict(spec)
+        try:
+            return self._request("POST", "/jobs", body)
+        except ServerError as exc:
+            if exc.status == 429:
+                return exc.payload
+            raise
+
+    def status(self, job_id: str, wait: float | None = None) -> dict:
+        path = f"/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait:g}"
+        return self._request("GET", path)
+
+    def trace(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}/trace")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def jobs(self) -> list:
+        return self._request("GET", "/jobs")
+
+    def drain(self) -> dict:
+        return self._request("POST", "/drain")
+
+    def wait_terminal(self, job_id: str, timeout: float = 300.0) -> dict:
+        """Long-poll until the job reaches a terminal state (or a drain
+        leaves it PREEMPTED and the server goes away)."""
+        import time
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job_id} not terminal "
+                                   f"after {timeout}s")
+            rec = self.status(job_id, wait=min(remaining, 25.0))
+            from repro.server.jobs import JobState
+            if rec["state"] in JobState.TERMINAL:
+                return rec

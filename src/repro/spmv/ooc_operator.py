@@ -41,6 +41,7 @@ class OutOfCoreMatrix:
         owner: Callable[[int, int], int] | None = None,
         rng_seed: int = 0,
         gc_arrays: bool = True,
+        engine_kwargs: dict | None = None,
     ):
         ks = sorted({u for u, _ in blocks})
         k = len(ks)
@@ -58,7 +59,9 @@ class OutOfCoreMatrix:
         self.k = k
         self.n = n
         self.owner = owner or column_owner(k, n_nodes)
-        self.engine = DOoCEngine(
+        # Extra engine knobs (fault plans, watchdog, worker plane) for
+        # callers like the job server; they override the named defaults.
+        eng_kwargs = dict(
             n_nodes=n_nodes,
             workers_per_node=workers_per_node,
             workers=workers,
@@ -67,9 +70,15 @@ class OutOfCoreMatrix:
             rng_seed=rng_seed,
             gc_arrays=gc_arrays,
         )
+        eng_kwargs.update(engine_kwargs or {})
+        self.engine = DOoCEngine(**eng_kwargs)
         self._a_raw_len: dict[tuple[int, int], int] = {}
         self._nnz: dict[tuple[int, int], int] = {}
         self.matvec_count = 0
+        #: optional CancelToken threaded into every matvec's engine run;
+        #: a supervisor sets it to interrupt a solver *inside* an SpMV
+        #: (the solver sees RunCancelled propagate out of matvec).
+        self.cancel = None
         # Seed the sub-matrix files once, on their owning nodes.
         for (u, v), b in blocks.items():
             raw = np.frombuffer(serialize_csr(b), dtype=np.uint8)
@@ -138,7 +147,7 @@ class OutOfCoreMatrix:
                     f"it{t}_sum_{u}", _sum_fn, partials, [f"it{t}_out_{u}"],
                     flops=float(ylen * max(len(partials) - 1, 1)),
                 )
-        self.engine.run(prog)
+        self.engine.run(prog, cancel=self.cancel)
         out = {u: self.engine.fetch(f"it{t}_out_{u}") for u in range(self.k)}
         self._cleanup(t)
         return p.join_vector(out)

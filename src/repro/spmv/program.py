@@ -266,6 +266,7 @@ def run_iterated_spmv(
     resume: bool = False,
     run_timeout: float | None = 120.0,
     engine_kwargs: dict | None = None,
+    cancel=None,
 ) -> IteratedSpMVRun:
     """Drive T iterations of y = A x in checkpointed chunks.
 
@@ -279,6 +280,13 @@ def run_iterated_spmv(
     reproduces the remaining iterates bit-identically — kill the process
     mid-drive, call again with ``resume=True``, and the final vector
     matches an uninterrupted run byte for byte.
+
+    ``cancel`` (a :class:`repro.core.cancel.CancelToken`) threads into
+    every chunk's engine run: setting it raises
+    :class:`~repro.core.errors.RunCancelled` out of this call with all
+    completed chunk boundaries checkpointed, so a later ``resume=True``
+    drive continues bit-identically — the preemption primitive the job
+    server builds on.
     """
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
@@ -309,7 +317,8 @@ def run_iterated_spmv(
             owner=owner, vector_block_elems=vector_block_elems)
         eng = DOoCEngine(n_nodes=n_nodes, **dict(engine_kwargs or {}))
         try:
-            run.reports.append(eng.run(built.program, timeout=run_timeout))
+            run.reports.append(eng.run(built.program, timeout=run_timeout,
+                                       cancel=cancel))
             # fetch() already concatenates into a fresh array — no copy.
             parts = {u: eng.fetch(x_name(step, u))
                      for u in range(built.partition.k)}

@@ -392,7 +392,7 @@ def test_deep_registry_has_the_documented_rules():
 
 
 def test_help_text_rule_span_tracks_registry():
-    assert _rule_span() == "rules DOOC001..DOOC012"
+    assert _rule_span() == "rules DOOC001..DOOC013"
 
 
 def test_deep_rules_relaxed_under_tests_dir():
@@ -464,13 +464,22 @@ RULE_SEEDS = {
     ),
     "DOOC011": LOCK_CYCLE,
     "DOOC012": EFFECT_WRAPPER,
+    "DOOC013": (
+        "import time\n"
+        "def worker_loop(self):\n"
+        "    time.sleep(0.5)\n"
+    ),
 }
+
+#: rules whose scope is a specific directory need a matching seed path
+RULE_SEED_PATHS = {"DOOC013": "src/repro/server/m.py"}
 
 
 def _run_rule(code: str, src: str):
+    path = RULE_SEED_PATHS.get(code, "src/m.py")
     if code in DEEP_RULES:
-        return analyze_sources({"src/m.py": src}, select=[code])
-    return lint_source(src, path="src/m.py", select=[code])
+        return analyze_sources({path: src}, select=[code])
+    return lint_source(src, path=path, select=[code])
 
 
 def test_rule_seeds_cover_the_whole_registry():
