@@ -35,7 +35,14 @@ def random_undirected_adjacency(n: int, degree: float,
 
 
 def ooc_bfs_levels(operator: OutOfCoreMatrix, source: int) -> np.ndarray:
-    """BFS levels (-1 = unreachable), one out-of-core SpMV per level."""
+    """BFS levels (-1 = unreachable), one out-of-core SpMV per level.
+
+    Each expansion is a *sparse frontier* sweep: vector partitions with no
+    frontier vertex contribute exactly zero, so their sub-matrix column is
+    never read and no task is scheduled for it.  The loop terminates at
+    the explicit fixpoint — the first sweep that discovers no new vertex —
+    rather than paying one more full expansion of an unchanged frontier.
+    """
     n = operator.n
     dist = np.full(n, -1, dtype=np.int64)
     dist[source] = 0
@@ -43,8 +50,10 @@ def ooc_bfs_levels(operator: OutOfCoreMatrix, source: int) -> np.ndarray:
     frontier[source] = 1.0
     level = 0
     while frontier.any():
-        reached = operator.matvec(frontier)
+        reached = operator.matvec(frontier, frontier=True)
         newly = (reached > 0) & (dist < 0)
+        if not newly.any():
+            break  # fixpoint: the frontier expanded into nothing new
         level += 1
         dist[newly] = level
         frontier = np.zeros(n)
@@ -70,6 +79,8 @@ def main() -> None:
         operator = OutOfCoreMatrix(blocks, n_nodes=k, scratch_dir=scratch)
         dist = ooc_bfs_levels(operator, args.source)
         spmvs = operator.matvec_count
+        tasks = sum(e["tasks"] for e in operator.sweep_log)
+        active = [len(e["active"]) for e in operator.sweep_log]
 
     graph = nx.from_scipy_sparse_array(adj)
     expected = nx.single_source_shortest_path_length(graph, args.source)
@@ -83,6 +94,8 @@ def main() -> None:
     print(f"BFS from vertex {args.source}: {reachable}/{args.n} vertices "
           f"reached, eccentricity {eccentricity}, "
           f"{spmvs} out-of-core frontier expansions")
+    print(f"sparse frontiers: {tasks} tasks total, active partitions per "
+          f"expansion {active} (full sweeps would use {k} each)")
     hist = np.bincount(dist[dist >= 0])
     print("vertices per level:", hist.tolist())
     print("levels verified against networkx")

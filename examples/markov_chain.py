@@ -59,10 +59,18 @@ def main() -> None:
 
     with tempfile.TemporaryDirectory() as scratch:
         operator = OutOfCoreMatrix(blocks, n_nodes=k, scratch_dir=scratch)
-        result = jacobi_solve(operator, b, tol=1e-10, max_iterations=300)
+        # Incremental (delta/workset) sweeps: partitions whose iterate goes
+        # bitwise stationary leave the workset, so late sweeps stop
+        # re-reading their sub-matrix files — same iterates, less work.
+        result = jacobi_solve(operator, b, tol=1e-10, max_iterations=300,
+                              mode="incremental")
         print(f"Jacobi: converged={result.converged} in "
               f"{result.iterations} out-of-core sweeps "
               f"(residual {result.residual_norm:.2e})")
+        rep = result.convergence
+        if rep is not None and rep.first_freeze_sweep() is not None:
+            print(f"        workset dropout from sweep "
+                  f"{rep.first_freeze_sweep()}: sizes {rep.workset_sizes()}")
         np.testing.assert_allclose(result.x, reference, rtol=1e-6, atol=1e-12)
 
     # The same system through CG on the normal equations is overkill, but

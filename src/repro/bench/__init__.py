@@ -13,10 +13,14 @@ See docs/PERFORMANCE.md for how to read and refresh the baseline.
 
 from repro.bench.harness import (
     SCHEMA,
+    ConvergenceWorkload,
     Workload,
+    check_convergence_invariants,
     check_regression,
     load_report,
+    pinned_convergence_workload,
     pinned_workloads,
+    run_convergence_suite,
     run_suite,
     run_workload,
     write_report,
@@ -24,10 +28,14 @@ from repro.bench.harness import (
 
 __all__ = [
     "SCHEMA",
+    "ConvergenceWorkload",
     "Workload",
+    "check_convergence_invariants",
     "check_regression",
     "load_report",
+    "pinned_convergence_workload",
     "pinned_workloads",
+    "run_convergence_suite",
     "run_suite",
     "run_workload",
     "write_report",

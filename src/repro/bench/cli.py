@@ -50,6 +50,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="also export the out-of-core workload's Chrome "
                              "trace to PATH")
+    parser.add_argument("--convergence", action="store_true",
+                        help="also run the pinned incremental/async "
+                             "convergence workload into the report")
+    parser.add_argument("--convergence-only", action="store_true",
+                        help="run only the convergence workload (the CI "
+                             "convergence-gate leg)")
     parser.add_argument("--check", action="store_true",
                         help="compare a report against the baseline instead "
                              "of (only) benchmarking")
@@ -102,7 +108,9 @@ def main(argv: list[str] | None = None) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
     report = run_suite(quick=args.quick, tag=args.tag, plane=args.plane,
                        worker_plane=args.worker_plane,
-                       trace_path=args.trace)
+                       trace_path=args.trace,
+                       convergence=args.convergence,
+                       convergence_only=args.convergence_only)
     path = write_report(report, out_dir / f"BENCH_{args.tag}.json")
     totals = report["totals"]
     print(f"wrote {path}")
@@ -122,11 +130,27 @@ def main(argv: list[str] | None = None) -> int:
               f"disk read {io['disk_read']:>12,d} B "
               f"effective {io['effective_read_mb_s']:8.1f} MB/s "
               f"{'bit-identical' if wl['bit_identical'] else 'MISMATCH'}")
+    conv = report.get("convergence")
+    if conv:
+        sync, inc, asy = conv["sync"], conv["incremental"], conv["async"]
+        print(f"  convergence  sync {sync['iterations']} sweeps "
+              f"{sync['tasks']} tasks {sync['disk_bytes_read']:,d} B read")
+        print(f"               incremental {inc['iterations']} sweeps "
+              f"{inc['tasks']} tasks {inc['disk_bytes_read']:,d} B read "
+              f"(first freeze sweep {inc['first_freeze_sweep']})")
+        print(f"               async {asy['rounds']} rounds "
+              f"residual {asy['residual_norm']:.3e} "
+              f"bound {asy['bound']:.3e}")
+        for name, ok in sorted(conv["verdicts"].items()):
+            print(f"               {'ok  ' if ok else 'FAIL'} {name}")
     sweep = report.get("codec_sweep", {}).values()
     if not all(wl["bit_identical"]
                for wl in (*report["workloads"].values(), *sweep)):
         print("bench: result mismatch against the SciPy reference",
               file=sys.stderr)
+        return 1
+    if conv and not all(conv["verdicts"].values()):
+        print("bench: convergence invariant violated", file=sys.stderr)
         return 1
     return 0
 

@@ -121,6 +121,256 @@ def pinned_workloads(*, quick: bool) -> list[Workload]:
     ]
 
 
+@dataclass(frozen=True)
+class ConvergenceWorkload:
+    """The pinned incremental/async iteration workload.
+
+    A block-lower-triangular, strongly diagonally dominant system whose
+    partitions converge at deliberately staggered rates (``dom[u]`` is
+    block ``u``'s extra diagonal dominance): the best-conditioned block
+    goes bitwise stationary sweeps before the worst, so workset dropout
+    has room to pay off before the global residual test fires.
+    """
+
+    name: str
+    n: int
+    k: int
+    dom: tuple[float, ...]       #: per-block diagonal dominance boost
+    density: float
+    seed: int
+    tol: float                   #: sync/incremental residual tolerance
+    max_sweeps: int
+    async_tol: float
+    async_staleness: int
+    async_seed: int
+    async_max_rounds: int
+
+    def config(self) -> dict:
+        return asdict(self)
+
+
+def pinned_convergence_workload(*, quick: bool) -> ConvergenceWorkload:
+    """The convergence-bench system (CI-sized when ``quick``)."""
+    if quick:
+        return ConvergenceWorkload(
+            "convergence_quick", n=120, k=3, dom=(1e6, 50.0, 12.0),
+            density=0.05, seed=9, tol=1e-30, max_sweeps=120,
+            async_tol=1e-8, async_staleness=2, async_seed=1,
+            async_max_rounds=150)
+    return ConvergenceWorkload(
+        "convergence_full", n=240, k=4, dom=(1e6, 2e3, 50.0, 12.0),
+        density=0.05, seed=9, tol=1e-30, max_sweeps=200,
+        async_tol=1e-8, async_staleness=2, async_seed=1,
+        async_max_rounds=250)
+
+
+def _build_convergence_system(cw: ConvergenceWorkload):
+    """The pinned block-triangular system as (scipy A, b)."""
+    import scipy.sparse as sp
+
+    rng = np.random.default_rng(cw.seed)
+    s = cw.n // cw.k
+    rows = []
+    for u in range(cw.k):
+        row = []
+        for v in range(cw.k):
+            if v > u:
+                row.append(sp.csr_matrix((s, s)))
+            elif v < u:
+                row.append(sp.random(s, s, density=cw.density,
+                                     random_state=rng, format="csr"))
+            else:
+                blk = sp.random(s, s, density=cw.density,
+                                random_state=rng, format="csr").tolil()
+                rowsum = np.abs(blk).sum(axis=1).A.ravel()
+                blk.setdiag(rowsum + cw.dom[u])
+                row.append(blk.tocsr())
+        rows.append(row)
+    a = sp.csr_matrix(sp.bmat(rows, format="csr"))
+    b = rng.standard_normal(cw.n)
+    return a, b
+
+
+class _InCoreBlockedReference:
+    """In-core operator reproducing the engine's blocked summation order.
+
+    ``matvec`` accumulates ``y_u = sum_v A_{u,v} @ x_v`` over columns in
+    grid order into a zeroed buffer — float-for-float the simple-policy
+    reduction on one node — so a SciPy-side Jacobi drive through it is
+    the bit-identity reference for the out-of-core sync solve.
+    """
+
+    def __init__(self, a, partition):
+        import scipy.sparse as sp
+
+        self.partition = partition
+        self.n = a.shape[0]
+        self._diag = np.asarray(a.diagonal(), dtype=np.float64)
+        self._blocks = {}
+        for u in range(partition.k):
+            r0, r1 = partition.part_range(u)
+            for v in range(partition.k):
+                c0, c1 = partition.part_range(v)
+                self._blocks[(u, v)] = sp.csr_matrix(a[r0:r1, c0:c1])
+
+    @property
+    def shape(self):
+        return (self.n, self.n)
+
+    def diagonal(self) -> np.ndarray:
+        return self._diag.copy()
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        p = self.partition
+        parts = p.split_vector(np.asarray(x, dtype=np.float64))
+        out = {}
+        for u in range(p.k):
+            y = np.zeros(p.part_length(u))
+            for v in range(p.k):
+                y += self._blocks[(u, v)] @ parts[v]
+            out[u] = y
+        return p.join_vector(out)
+
+
+def run_convergence_suite(*, quick: bool = False) -> dict:
+    """Run the pinned convergence workload in all three modes.
+
+    Returns the report's ``convergence`` section: sync / incremental /
+    async metrics plus the boolean verdicts
+    :func:`check_convergence_invariants` gates on.  Sync and incremental
+    carry the bit-identity verdict (dropout must not change a single
+    bit); async carries the convergence-bound verdict
+    (``||b - A x|| <= tol * ||b||`` on a *fresh* confirmation sweep).
+    """
+    import tempfile
+
+    from repro.solvers import jacobi_solve
+    from repro.spmv.csr import CSRBlock
+    from repro.spmv.ooc_operator import OutOfCoreMatrix
+    from repro.spmv.partition import GridPartition
+
+    cw = pinned_convergence_workload(quick=quick)
+    a, b = _build_convergence_system(cw)
+    partition = GridPartition(cw.n, cw.k)
+    blocks = partition.split_matrix(CSRBlock.from_scipy(a))
+    b_norm = float(np.linalg.norm(b))
+
+    def mkop(scratch):
+        return OutOfCoreMatrix(blocks, n_nodes=1, scratch_dir=scratch,
+                               policy="simple")
+
+    def drive(mode, **kw):
+        with tempfile.TemporaryDirectory() as scratch:
+            op = mkop(scratch)
+            res = jacobi_solve(op, b, tol=cw.tol if mode != "async"
+                               else cw.async_tol,
+                               max_iterations=cw.max_sweeps if mode != "async"
+                               else cw.async_max_rounds,
+                               mode=mode, **kw)
+            log = list(op.sweep_log)
+            op.engine.cleanup()
+        return res, log
+
+    sync_res, sync_log = drive("sync")
+    inc_res, inc_log = drive("incremental")
+    async_res, _ = drive("async", staleness=cw.async_staleness,
+                         seed=cw.async_seed)
+
+    # In-core reference with the same blocked summation order.
+    ref_op = _InCoreBlockedReference(a, partition)
+    ref_res = jacobi_solve(ref_op, b, tol=cw.tol,
+                           max_iterations=cw.max_sweeps)
+
+    def totals(log):
+        return (sum(e["tasks"] for e in log),
+                int(sum(e["disk_bytes_read"] for e in log)),
+                round(sum(e["wall_seconds"] for e in log), 6))
+
+    sync_tasks, sync_disk, sync_wall = totals(sync_log)
+    inc_tasks, inc_disk, inc_wall = totals(inc_log)
+    rep = inc_res.convergence
+    matvec_tasks = rep.tasks_per_sweep()
+    first_freeze = rep.first_freeze_sweep()
+    async_bound = cw.async_tol * b_norm
+
+    verdicts = {
+        # sync result == the SciPy-built in-core reference, bit for bit
+        "sync_matches_reference": bool(
+            np.array_equal(sync_res.x, ref_res.x)
+            and sync_res.iterations == ref_res.iterations),
+        # dropout never changes the iterate sequence
+        "incremental_bit_identical": bool(
+            np.array_equal(inc_res.x, sync_res.x)),
+        "same_iterations": inc_res.iterations == sync_res.iterations,
+        # the point of the exercise: strictly less work than bulk sync
+        "tasks_strictly_decrease": inc_tasks < sync_tasks,
+        "disk_bytes_strictly_decrease": inc_disk < sync_disk,
+        # workset-dropout invariant: per-sweep tasks never grow, and
+        # strictly shrink once the first block freezes
+        "dropout_monotone": all(
+            nxt <= cur for cur, nxt in zip(matvec_tasks, matvec_tasks[1:])),
+        "dropout_after_first_freeze": (
+            first_freeze is not None
+            and first_freeze < len(matvec_tasks)
+            and matvec_tasks[-1] < matvec_tasks[0]),
+        # async gets the convergence-bound verdict, not bit-identity
+        "async_within_bound": bool(
+            async_res.converged and async_res.residual_norm <= async_bound),
+    }
+    return {
+        "config": cw.config(),
+        "sync": {
+            "iterations": sync_res.iterations,
+            "fixpoint": sync_res.fixpoint,
+            "tasks": sync_tasks,
+            "disk_bytes_read": sync_disk,
+            "wall_seconds": sync_wall,
+            "residual_norm": sync_res.residual_norm,
+        },
+        "incremental": {
+            "iterations": inc_res.iterations,
+            "fixpoint": inc_res.fixpoint,
+            "tasks": inc_tasks,
+            "disk_bytes_read": inc_disk,
+            "wall_seconds": inc_wall,
+            "residual_norm": inc_res.residual_norm,
+            "first_freeze_sweep": first_freeze,
+            "fixpoint_sweep": rep.fixpoint_sweep,
+            "workset_sizes": rep.workset_sizes(),
+            "matvec_tasks_per_sweep": matvec_tasks,
+            "total_tasks_with_aux": rep.total_tasks(),
+        },
+        "async": {
+            "rounds": async_res.iterations,
+            "staleness": cw.async_staleness,
+            "residual_norm": async_res.residual_norm,
+            "bound": async_bound,
+            "converged": async_res.converged,
+        },
+        "verdicts": verdicts,
+    }
+
+
+def check_convergence_invariants(current: dict) -> list[str]:
+    """Baseline-free gates on the report's ``convergence`` section.
+
+    Every verdict computed by :func:`run_convergence_suite` must hold:
+    dropout must be free (bit-identity, same sweep count), must pay
+    (strictly fewer tasks and disk bytes than bulk-synchronous), must be
+    monotone once blocks freeze, and async-Jacobi must land inside its
+    documented residual bound.  Reports without the section pass.
+    """
+    conv = current.get("convergence")
+    if not conv:
+        return []
+    failures = []
+    for name, ok in sorted(conv.get("verdicts", {}).items()):
+        if not ok:
+            failures.append(f"convergence: invariant {name!r} violated "
+                            "(see the report's convergence section)")
+    return failures
+
+
 @contextmanager
 def _data_plane(plane: str):
     """Temporarily select the data plane via the environment knob."""
@@ -272,7 +522,9 @@ def run_workload(w: Workload, *, trace_path: str | Path | None = None,
 def run_suite(*, quick: bool = False, tag: str = "dev",
               plane: str = "zerocopy",
               worker_plane: str | None = None,
-              trace_path: str | Path | None = None) -> dict:
+              trace_path: str | Path | None = None,
+              convergence: bool = False,
+              convergence_only: bool = False) -> dict:
     """Run the whole pinned matrix; returns the report dict.
 
     ``plane="legacy"`` measures the pre-change data plane (defensive
@@ -280,7 +532,23 @@ def run_suite(*, quick: bool = False, tag: str = "dev",
     ``worker_plane`` (``"thread"``/``"process"``) overrides every
     workload's pinned plane — the A/B lever for thread-vs-process runs.
     ``trace_path`` exports the out-of-core workload's Chrome trace.
+    ``convergence`` additionally runs the pinned incremental/async
+    workload (:func:`run_convergence_suite`) into the report's
+    ``convergence`` section; ``convergence_only`` skips the perf matrix
+    and produces just that section (the CI convergence-gate leg).
     """
+    if convergence_only:
+        return {
+            "schema": SCHEMA,
+            "tag": tag,
+            "mode": "quick" if quick else "full",
+            "data_plane": plane,
+            "workloads": {},
+            "codec_sweep": {},
+            "convergence": run_convergence_suite(quick=quick),
+            "totals": {"wall_seconds": 0.0, "tasks": 0,
+                       "tasks_per_second": 0.0, "bytes_copied": 0},
+        }
     workers = LEGACY_WORKERS if plane == "legacy" else None
     workloads = {}
     codec_sweep = {}
@@ -306,7 +574,8 @@ def run_suite(*, quick: bool = False, tag: str = "dev",
                     repeats=1)
     total_wall = sum(r["wall_seconds"] for r in workloads.values())
     total_tasks = sum(r["tasks"] for r in workloads.values())
-    return {
+    conv = run_convergence_suite(quick=quick) if convergence else None
+    report = {
         "schema": SCHEMA,
         "tag": tag,
         "mode": "quick" if quick else "full",
@@ -321,6 +590,9 @@ def run_suite(*, quick: bool = False, tag: str = "dev",
             "bytes_copied": sum(r["bytes_copied"] for r in workloads.values()),
         },
     }
+    if conv is not None:
+        report["convergence"] = conv
+    return report
 
 
 def write_report(report: dict, path: str | Path) -> Path:
@@ -379,9 +651,17 @@ def check_regression(current: dict, baseline: dict,
     (those copies are deterministic, so an increase is a code change,
     not noise), a lost bit-identity, or a violated codec-sweep
     invariant (:func:`check_codec_invariants` — gated on the *current*
-    report alone).
+    report alone), or a violated convergence invariant
+    (:func:`check_convergence_invariants`, likewise current-only).
+
+    A convergence-only candidate (no ``workloads``, produced by
+    ``run_suite(convergence_only=True)``) is gated purely on its own
+    invariants — there is nothing historical to compare.
     """
     failures: list[str] = check_codec_invariants(current)
+    failures += check_convergence_invariants(current)
+    if not current.get("workloads") and current.get("convergence"):
+        return failures
     if current.get("mode") != baseline.get("mode"):
         failures.append(
             f"mode mismatch: current {current.get('mode')!r} vs baseline "

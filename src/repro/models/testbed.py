@@ -184,6 +184,70 @@ CODEC_MODELS: dict[str, CodecBandwidthModel] = {
 
 
 @dataclass(frozen=True)
+class WorksetModel:
+    """Analytic per-column dropout schedule for incremental sweeps.
+
+    The DES testbed's counterpart of the engine's ``ConvergenceTracker``:
+    instead of observing real iterates, each grid column ``j`` is assigned
+    a geometric update-decay rate ``rhos[j % len(rhos)]`` (update norm
+    after sweep ``s`` is ``rho**(s+1)`` from a unit start) and leaves the
+    workset once its update drops to ``tol``.  ``rho == 1.0`` models a
+    column that never converges.  Sweeps are 0-based, matching the
+    testbed's iteration counter.
+    """
+
+    rhos: tuple[float, ...] = (0.2, 0.5, 0.8)
+    tol: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if not self.rhos:
+            raise ValueError("need at least one decay rate")
+        if any(not (0.0 < r <= 1.0) for r in self.rhos):
+            raise ValueError("decay rates must be in (0, 1]")
+        if not (0.0 < self.tol < 1.0):
+            raise ValueError("tol must be in (0, 1)")
+
+    def column_rho(self, j: int) -> float:
+        return self.rhos[j % len(self.rhos)]
+
+    def freeze_sweep(self, j: int) -> int | None:
+        """First 0-based sweep whose *start* finds column ``j`` frozen
+        (``None`` if it never converges)."""
+        rho = self.column_rho(j)
+        if rho >= 1.0:
+            return None
+        # smallest s with rho**s <= tol: the column's last active sweep
+        # is s-1, so it is frozen from sweep s on.
+        return max(1, math.ceil(math.log(self.tol) / math.log(rho)))
+
+    def active_columns(self, sweep: int, ncols: int) -> list[int]:
+        """Columns still in the workset at the start of ``sweep``."""
+        if sweep < 0:
+            raise ValueError("sweep must be >= 0")
+        out = []
+        for j in range(ncols):
+            fs = self.freeze_sweep(j)
+            if fs is None or sweep < fs:
+                out.append(j)
+        return out
+
+    def active_fraction(self, sweep: int, ncols: int) -> float:
+        if ncols < 1:
+            raise ValueError("ncols must be >= 1")
+        return len(self.active_columns(sweep, ncols)) / ncols
+
+    def fixpoint_sweep(self, ncols: int) -> int | None:
+        """First sweep with an empty workset (``None`` if never)."""
+        worst = 0
+        for j in range(ncols):
+            fs = self.freeze_sweep(j)
+            if fs is None:
+                return None
+            worst = max(worst, fs)
+        return worst
+
+
+@dataclass(frozen=True)
 class MemoryLayer:
     """One layer of Fig. 1's memory hierarchy."""
 

@@ -75,6 +75,19 @@ EVENTS: dict[str, tuple[str, str, str]] = {
     "checkpoint_write": ("recovery", "i", "solver-state checkpoint written"),
     "checkpoint_restore": ("recovery", "i", "solver state restored from disk"),
     "checkpoint_reject": ("recovery", "i", "corrupt checkpoint skipped"),
+    # -- incremental iteration (delta/workset) ------------------------------
+    "block_converged": ("converge", "i", "a partition's iterate went "
+                                         "stationary; it left the workset"),
+    "block_reentered": ("converge", "i", "a frozen partition's iterate moved "
+                                         "again; it rejoined the workset"),
+    "workset_size": ("converge", "C", "partitions still active in the sweep"),
+    "sweep_tasks": ("converge", "C", "engine tasks scheduled for one sweep"),
+    "frontier_size": ("converge", "C", "vector blocks touched by the active "
+                                       "frontier"),
+    "fixpoint": ("converge", "i", "every partition stationary; iteration "
+                                  "terminated early"),
+    "async_round": ("converge", "i", "async-Jacobi round relaxed partitions "
+                                     "against bounded-stale views"),
     # -- run-level ----------------------------------------------------------
     "phase": ("run", "i", "run-level milestone (start/end, sim phases)"),
     "run_cancel": ("run", "i", "cancel token seen; drain broadcast to nodes"),

@@ -75,6 +75,13 @@ class OutOfCoreMatrix:
         self._a_raw_len: dict[tuple[int, int], int] = {}
         self._nnz: dict[tuple[int, int], int] = {}
         self.matvec_count = 0
+        #: one summary dict per engine program run through this operator
+        #: (matvecs, frozen-column product programs, async rounds):
+        #: ``{"sweep", "mode", "active", "tasks", "disk_bytes_read",
+        #: "wall_seconds"}`` — the accounting the convergence bench and
+        #: the workset-dropout invariant read.
+        self.sweep_log: list[dict] = []
+        self.last_sweep: dict | None = None
         #: optional CancelToken threaded into every matvec's engine run;
         #: a supervisor sets it to interrupt a solver *inside* an SpMV
         #: (the solver sees RunCancelled propagate out of matvec).
@@ -92,65 +99,245 @@ class OutOfCoreMatrix:
     def shape(self) -> tuple[int, int]:
         return (self.n, self.n)
 
-    def matvec(self, x: np.ndarray) -> np.ndarray:
-        """One out-of-core SpMV as a DOoC program."""
+    def matvec(self, x: np.ndarray, *, workset: "SweepWorkset | None" = None,
+               frontier: bool = False) -> np.ndarray:
+        """One out-of-core SpMV as a DOoC program.
+
+        ``workset`` runs an incremental sweep: frozen columns' cached
+        products are seeded into the program (same array names, same
+        reduction-input positions) instead of being recomputed, so their
+        sub-matrix files are never read and the float summation order is
+        unchanged — the result stays bit-identical to the bulk sweep.
+
+        ``frontier=True`` runs sparse frontier propagation: columns whose
+        sub-vector is entirely zero contribute exactly zero and are
+        skipped outright; rows with no surviving input get a zero output
+        without scheduling any task.  (Sums accumulate into a fresh
+        +0.0 buffer, so dropping zero summands cannot change bits.)
+        """
+        if workset is not None and frontier:
+            raise ValueError("workset and frontier modes are mutually "
+                             "exclusive")
         if x.shape != (self.n,):
             raise ValueError(f"x has shape {x.shape}, want ({self.n},)")
         t = self.matvec_count
         self.matvec_count += 1
         p = self.partition
+        parts = p.split_vector(np.asarray(x, dtype=np.float64))
+        if workset is not None:
+            if workset.operator is not self:
+                raise ValueError("workset belongs to a different operator")
+            active, _ = workset.refresh(parts)
+            mode = "workset"
+        elif frontier:
+            active = [v for v in range(self.k) if np.any(parts[v])]
+            mode = "frontier"
+        else:
+            active = list(range(self.k))
+            mode = "full"
+        active_set = frozenset(active)
+        frozen_set = workset.frozen if workset is not None else frozenset()
+        meta_extra: dict = {}
+        if mode == "workset":
+            meta_extra = {"workset_sweep": t,
+                          "workset_active": tuple(active),
+                          "workset_frozen": tuple(sorted(frozen_set))}
+        elif mode == "frontier":
+            meta_extra = {"frontier": tuple(active)}
         prog = Program(f"ooc-matvec-{t}")
+        for (u, v), raw_len in self._a_raw_len.items():
+            if v in active_set:
+                prog.initial_from_scratch(
+                    a_name(u, v), raw_len, home=self.owner(u, v),
+                    dtype="uint8", block_elems=raw_len)
+        for v in active:
+            prog.initial_array(f"it{t}_x_{v}", parts[v], home=self.owner(0, v),
+                               block_elems=len(parts[v]))
+        produced: list[int] = []
+        for u in range(self.k):
+            ylen = p.part_length(u)
+            ins: list[int] = []
+            for v in range(self.k):
+                yn = f"it{t}_y_{u}_{v}"
+                if v in active_set:
+                    prog.array(yn, ylen, block_elems=ylen)
+                    prog.add_task(
+                        f"it{t}_mult_{u}_{v}", _mult_fn,
+                        [a_name(u, v), f"it{t}_x_{v}"], [yn],
+                        flops=2.0 * self._nnz[(u, v)],
+                        a=a_name(u, v), x=f"it{t}_x_{v}", **meta_extra,
+                    )
+                    ins.append(v)
+                elif v in frozen_set:
+                    # Frozen column: its product is a constant; seed it in
+                    # the exact input position a fresh multiply would fill.
+                    prog.initial_array(yn, workset.product(u, v),
+                                       home=self.owner(u, v),
+                                       block_elems=ylen)
+                    ins.append(v)
+                # frontier-inactive columns contribute exactly zero: no
+                # input array at all
+            if not ins:
+                continue  # y_u is exactly zero; nothing to schedule
+            produced.append(u)
+            prog.array(f"it{t}_out_{u}", ylen, block_elems=ylen)
+            self._reduce_tasks(prog, t, u, ins, ylen, meta_extra)
+        report = self.engine.run(prog, cancel=self.cancel)
+        produced_set = set(produced)
+        out = {u: (self.engine.fetch(f"it{t}_out_{u}")
+                   if u in produced_set else np.zeros(p.part_length(u)))
+               for u in range(self.k)}
+        self._cleanup(t)
+        self._log_sweep(t, mode, active, len(prog.tasks), report)
+        if frontier:
+            self.engine.tracer.counter(-1, "driver", "converge",
+                                       "frontier_size", len(active), sweep=t)
+        return p.join_vector(out)
+
+    def _reduce_tasks(self, prog: Program, t: int, u: int, ins: list[int],
+                      ylen: int, meta_extra: dict) -> None:
+        """Row ``u``'s reduction over the included columns ``ins`` — the
+        same policy tree (and float summation order) as the bulk sweep
+        restricted to ``ins``."""
+        if self.policy == "simple":
+            prog.add_task(
+                f"it{t}_sum_{u}", _sum_fn,
+                [f"it{t}_y_{u}_{v}" for v in ins], [f"it{t}_out_{u}"],
+                flops=float(ylen * (len(ins) - 1)), **meta_extra,
+            )
+            return
+        groups: dict[int, list[int]] = {}
+        for v in ins:
+            groups.setdefault(self.owner(u, v), []).append(v)
+        partials = []
+        for node, vs in sorted(groups.items()):
+            if len(vs) == 1:
+                partials.append(f"it{t}_y_{u}_{vs[0]}")
+                continue
+            pname = f"it{t}_part_{u}_{node}"
+            prog.array(pname, ylen, block_elems=ylen)
+            prog.add_task(
+                f"it{t}_psum_{u}_{node}", _sum_fn,
+                [f"it{t}_y_{u}_{v}" for v in vs], [pname],
+                flops=float(ylen * (len(vs) - 1)), **meta_extra,
+            )
+            partials.append(pname)
+        prog.add_task(
+            f"it{t}_sum_{u}", _sum_fn, partials, [f"it{t}_out_{u}"],
+            flops=float(ylen * max(len(partials) - 1, 1)), **meta_extra,
+        )
+
+    def _log_sweep(self, tag: int, mode: str, active, tasks: int,
+                   report) -> dict:
+        entry = {
+            "sweep": tag,
+            "mode": mode,
+            "active": tuple(active),
+            "tasks": tasks,
+            "disk_bytes_read": int(sum(
+                per.get("disk_bytes_read", 0)
+                for per in report.metrics.values())),
+            "wall_seconds": report.wall_seconds,
+        }
+        self.sweep_log.append(entry)
+        self.last_sweep = entry
+        self.engine.tracer.counter(-1, "driver", "converge", "sweep_tasks",
+                                   tasks, sweep=tag, mode=mode)
+        return entry
+
+    def column_products(self, v: int, x_v: np.ndarray) -> dict[int, np.ndarray]:
+        """All of one column's products, ``y_{u,v} = A_{u,v} @ x_v``.
+
+        One slim multiply-only program whose outputs are terminal and
+        fetchable.  :class:`SweepWorkset` calls this once when column
+        ``v`` freezes; because the multiply kernel is deterministic, the
+        cached products are bit-identical to what later sweeps would
+        have recomputed from the stationary ``x_v``.
+        """
+        x_v = np.asarray(x_v, dtype=np.float64)
+        want = (self.partition.part_length(v),)
+        if x_v.shape != want:
+            raise ValueError(f"x_v has shape {x_v.shape}, want {want}")
+        t = self.matvec_count
+        self.matvec_count += 1
+        prog = Program(f"ooc-colprod-{t}")
+        xn = f"it{t}_x_{v}"
+        prog.initial_array(xn, x_v, home=self.owner(0, v),
+                           block_elems=len(x_v))
+        for u in range(self.k):
+            raw_len = self._a_raw_len[(u, v)]
+            prog.initial_from_scratch(
+                a_name(u, v), raw_len, home=self.owner(u, v),
+                dtype="uint8", block_elems=raw_len)
+            ylen = self.partition.part_length(u)
+            yn = f"it{t}_y_{u}_{v}"
+            prog.array(yn, ylen, block_elems=ylen)
+            prog.add_task(
+                f"it{t}_mult_{u}_{v}", _mult_fn,
+                [a_name(u, v), xn], [yn],
+                flops=2.0 * self._nnz[(u, v)],
+                a=a_name(u, v), x=xn, frozen_column=v,
+            )
+        report = self.engine.run(prog, cancel=self.cancel)
+        out = {u: np.array(self.engine.fetch(f"it{t}_y_{u}_{v}"),
+                           dtype=np.float64, copy=True)
+               for u in range(self.k)}
+        self._cleanup(t)
+        self._log_sweep(t, "colprod", (v,), len(prog.tasks), report)
+        return out
+
+    def stale_sweep(self, versions: list[dict[int, np.ndarray]],
+                    choice: dict[tuple[int, int], int]) -> dict[int, np.ndarray]:
+        """One chaotic-relaxation round: ``y_u = sum_v A_{u,v} @ x_v^(-age)``.
+
+        ``versions[age]`` holds the iterate's parts ``age`` rounds ago
+        (0 = newest); ``choice[(u, v)]`` is the age each multiply reads —
+        the async-Jacobi driver draws it from a seeded generator, bounded
+        by the staleness knob, so a run models uncoordinated progress yet
+        stays deterministic and replayable.  Returns the output parts.
+        """
+        if not versions:
+            raise ValueError("need at least one iterate version")
+        k = self.k
+        p = self.partition
+        for (u, v), age in choice.items():
+            if not (0 <= age < len(versions)):
+                raise ValueError(f"choice[{(u, v)}] = {age} out of range")
+        t = self.matvec_count
+        self.matvec_count += 1
+        prog = Program(f"ooc-async-{t}")
         for (u, v), raw_len in self._a_raw_len.items():
             prog.initial_from_scratch(
                 a_name(u, v), raw_len, home=self.owner(u, v),
                 dtype="uint8", block_elems=raw_len)
-        parts = p.split_vector(np.asarray(x, dtype=np.float64))
-        for u in range(self.k):
-            prog.initial_array(f"it{t}_x_{u}", parts[u], home=self.owner(0, u),
-                               block_elems=len(parts[u]))
-        for u in range(self.k):
+        used = sorted({(v, choice.get((u, v), 0))
+                       for u in range(k) for v in range(k)})
+        for v, age in used:
+            part = np.asarray(versions[age][v], dtype=np.float64)
+            prog.initial_array(f"it{t}_x_{v}_s{age}", part,
+                               home=self.owner(0, v), block_elems=len(part))
+        for u in range(k):
             ylen = p.part_length(u)
-            for v in range(self.k):
-                prog.array(f"it{t}_y_{u}_{v}", ylen, block_elems=ylen)
+            for v in range(k):
+                age = choice.get((u, v), 0)
+                yn = f"it{t}_y_{u}_{v}"
+                prog.array(yn, ylen, block_elems=ylen)
                 prog.add_task(
                     f"it{t}_mult_{u}_{v}", _mult_fn,
-                    [a_name(u, v), f"it{t}_x_{v}"], [f"it{t}_y_{u}_{v}"],
+                    [a_name(u, v), f"it{t}_x_{v}_s{age}"], [yn],
                     flops=2.0 * self._nnz[(u, v)],
-                    a=a_name(u, v), x=f"it{t}_x_{v}",
+                    a=a_name(u, v), x=f"it{t}_x_{v}_s{age}", staleness=age,
                 )
             prog.array(f"it{t}_out_{u}", ylen, block_elems=ylen)
-            if self.policy == "simple":
-                prog.add_task(
-                    f"it{t}_sum_{u}", _sum_fn,
-                    [f"it{t}_y_{u}_{v}" for v in range(self.k)],
-                    [f"it{t}_out_{u}"],
-                    flops=float(ylen * (self.k - 1)),
-                )
-            else:
-                groups: dict[int, list[int]] = {}
-                for v in range(self.k):
-                    groups.setdefault(self.owner(u, v), []).append(v)
-                partials = []
-                for node, vs in sorted(groups.items()):
-                    if len(vs) == 1:
-                        partials.append(f"it{t}_y_{u}_{vs[0]}")
-                        continue
-                    pname = f"it{t}_part_{u}_{node}"
-                    prog.array(pname, ylen, block_elems=ylen)
-                    prog.add_task(
-                        f"it{t}_psum_{u}_{node}", _sum_fn,
-                        [f"it{t}_y_{u}_{v}" for v in vs], [pname],
-                        flops=float(ylen * (len(vs) - 1)),
-                    )
-                    partials.append(pname)
-                prog.add_task(
-                    f"it{t}_sum_{u}", _sum_fn, partials, [f"it{t}_out_{u}"],
-                    flops=float(ylen * max(len(partials) - 1, 1)),
-                )
-        self.engine.run(prog, cancel=self.cancel)
-        out = {u: self.engine.fetch(f"it{t}_out_{u}") for u in range(self.k)}
+            self._reduce_tasks(prog, t, u, list(range(k)), ylen, {})
+        report = self.engine.run(prog, cancel=self.cancel)
+        out = {u: self.engine.fetch(f"it{t}_out_{u}") for u in range(k)}
         self._cleanup(t)
-        return p.join_vector(out)
+        self._log_sweep(t, "async", tuple(range(k)), len(prog.tasks), report)
+        max_age = max(choice.values()) if choice else 0
+        self.engine.tracer.instant(-1, "driver", "converge", "async_round",
+                                   sweep=t, max_age=max_age)
+        return out
 
     def _cleanup(self, t: int) -> None:
         """Unlink this matvec's per-iteration scratch files (the seeded x
@@ -187,3 +374,83 @@ class OutOfCoreMatrix:
                     dense_diag[i] = block.values[row][hits[0]]
             diag[lo:hi] = dense_diag
         return diag
+
+
+class SweepWorkset:
+    """Cached products of frozen columns for incremental sweeps.
+
+    When a :class:`~repro.core.convergence.ConvergenceTracker` declares a
+    column stationary, ``freeze(v, x_v)`` computes ``A_{u,v} @ x_v`` for
+    every row once (one slim column-products program) and later
+    ``matvec(x, workset=...)`` calls seed those cached arrays in place of
+    fresh multiplies — the frozen column's sub-matrix files drop off the
+    per-sweep read path entirely.
+
+    The cache is **content-addressed by the iterate's bits**: a frozen
+    column may hold up to two phase entries (near convergence, Jacobi
+    iterates often settle into an exact period-2 last-ulp oscillation
+    rather than a period-1 fixpoint), and ``refresh`` selects whichever
+    entry matches the incoming ``x_v`` bitwise.  A frozen column whose
+    ``x_v`` matches *no* cached phase is thawed automatically, so a stale
+    cache can never change the result — dropout removes work, never
+    accuracy.
+    """
+
+    #: phase entries kept per frozen column (period-1 or period-2 cycles)
+    MAX_PHASES = 2
+
+    def __init__(self, operator: OutOfCoreMatrix):
+        self.operator = operator
+        #: column -> list of (x bits, products-by-row) phase entries
+        self._entries: Dict[int, list[tuple[np.ndarray,
+                                            Dict[int, np.ndarray]]]] = {}
+        #: column -> products selected by the last ``refresh``
+        self._selected: Dict[int, Dict[int, np.ndarray]] = {}
+        #: freeze-time product tasks spent so far (dropout accounting)
+        self.aux_tasks = 0
+
+    @property
+    def frozen(self) -> frozenset[int]:
+        return frozenset(self._entries)
+
+    def freeze(self, v: int, x_v: np.ndarray) -> int:
+        """Cache column ``v``'s products at phase value ``x_v``; returns
+        the number of auxiliary (product-cache) tasks spent."""
+        x_v = np.array(x_v, dtype=np.float64, copy=True)
+        entries = self._entries.setdefault(v, [])
+        if any(np.array_equal(x_v, cached) for cached, _ in entries):
+            return 0
+        products = self.operator.column_products(v, x_v)
+        entries.append((x_v, products))
+        del entries[:-self.MAX_PHASES]
+        self._selected.setdefault(v, products)
+        self.aux_tasks += self.operator.k
+        return self.operator.k
+
+    def thaw(self, v: int) -> None:
+        self._entries.pop(v, None)
+        self._selected.pop(v, None)
+
+    def product(self, u: int, v: int) -> np.ndarray:
+        return self._selected[v][u]
+
+    def refresh(self, parts: Dict[int, np.ndarray],
+                ) -> tuple[list[int], tuple[int, ...]]:
+        """Select the phase entry matching each frozen column's incoming
+        iterate; thaw columns that match none.  Returns the active column
+        list and the columns thawed."""
+        thawed = []
+        for v in sorted(self._entries):
+            selected = None
+            for cached, products in self._entries[v]:
+                if np.array_equal(parts[v], cached):
+                    selected = products
+                    break
+            if selected is None:
+                thawed.append(v)
+            else:
+                self._selected[v] = selected
+        for v in thawed:
+            self.thaw(v)
+        active = [v for v in range(self.operator.k) if v not in self._entries]
+        return active, tuple(thawed)

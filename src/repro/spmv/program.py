@@ -246,6 +246,12 @@ class IteratedSpMVRun:
     restored_from: int | None = None  #: checkpoint step resumed from
     checkpoint_writes: int = 0
     reports: list = field(default_factory=list)  #: one RunReport per chunk
+    #: per-sweep workset history (incremental drives only)
+    convergence: object | None = None
+    #: did the drive hit a bitwise fixpoint/limit cycle before sweep T?
+    fixpoint: bool = False
+    #: per-program task/IO accounting (incremental drives only)
+    sweep_log: list = field(default_factory=list)
 
     def join(self) -> np.ndarray:
         """The full iterate x^T, reassembled from its parts."""
@@ -267,6 +273,7 @@ def run_iterated_spmv(
     run_timeout: float | None = 120.0,
     engine_kwargs: dict | None = None,
     cancel=None,
+    incremental: bool = False,
 ) -> IteratedSpMVRun:
     """Drive T iterations of y = A x in checkpointed chunks.
 
@@ -287,11 +294,29 @@ def run_iterated_spmv(
     completed chunk boundaries checkpointed, so a later ``resume=True``
     drive continues bit-identically — the preemption primitive the job
     server builds on.
+
+    ``incremental=True`` switches to delta/workset sweeps (one engine
+    program per iteration through :class:`~repro.spmv.ooc_operator.
+    OutOfCoreMatrix`): vector partitions whose iterate goes bitwise
+    stationary — or enters an exact period-2 last-ulp limit cycle — leave
+    the workset, their multiplies are replaced by cached products, and
+    the drive exits early at a global fixpoint.  The returned iterate is
+    still **bit-identical** to the bulk-synchronous drive for exactly
+    ``iterations`` sweeps (a period-2 exit picks the phase matching the
+    remaining parity); only the tasks run and bytes read shrink.  See
+    ``docs/ITERATION.md``.
     """
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
     if checkpoint_every is not None and checkpoint_every < 1:
         raise ValueError("checkpoint_every must be >= 1")
+    if incremental:
+        return _run_incremental_spmv(
+            blocks, x0_parts, iterations, n_nodes=n_nodes, policy=policy,
+            owner=owner, vector_block_elems=vector_block_elems,
+            checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every,
+            resume=resume, run_timeout=run_timeout,
+            engine_kwargs=engine_kwargs, cancel=cancel)
     chunk = checkpoint_every or iterations
     parts = {u: np.asarray(p, dtype=np.float64).copy()
              for u, p in x0_parts.items()}
@@ -331,5 +356,106 @@ def run_iterated_spmv(
     run.x_parts = parts
     run.iterations = done
     if mgr is not None:
+        run.checkpoint_writes = mgr.writes
+    return run
+
+
+def _run_incremental_spmv(
+    blocks: dict[tuple[int, int], CSRBlock],
+    x0_parts: dict[int, np.ndarray],
+    iterations: int,
+    *,
+    n_nodes: int,
+    policy: str,
+    owner: Callable[[int, int], int] | None,
+    vector_block_elems: int | None,
+    checkpoint_dir: str | Path | None,
+    checkpoint_every: int | None,
+    resume: bool,
+    run_timeout: float | None,
+    engine_kwargs: dict | None,
+    cancel,
+) -> IteratedSpMVRun:
+    """Delta/workset drive: one engine program per sweep, frozen columns
+    served from the product cache, early exit at a bitwise fixpoint or
+    period-2 limit cycle (parity-corrected so x^T matches the bulk drive
+    bit for bit)."""
+    from repro.core.convergence import ConvergenceTracker
+    from repro.spmv.ooc_operator import OutOfCoreMatrix, SweepWorkset
+
+    op = OutOfCoreMatrix(blocks, n_nodes=n_nodes, policy=policy,
+                         owner=owner, engine_kwargs=engine_kwargs)
+    op.cancel = cancel
+    p = op.partition
+    parts = {u: np.asarray(x0_parts[u], dtype=np.float64).copy()
+             for u in x0_parts}
+    if sorted(parts) != list(range(p.k)):
+        raise ValueError("x0_parts must have one part per grid row")
+    mgr = None
+    done = 0
+    restored = None
+    last_saved: int | None = None
+    if checkpoint_dir is not None:
+        from repro.recovery.checkpoint import CheckpointManager
+        mgr = CheckpointManager(checkpoint_dir)
+        if resume:
+            ckpt = mgr.load_latest()
+            if ckpt is not None:
+                done = restored = last_saved = ckpt.step
+                parts = {int(name[1:]): arr.copy()
+                         for name, arr in ckpt.arrays.items()}
+    chunk = checkpoint_every or iterations
+    workset = SweepWorkset(op)
+    tracker = ConvergenceTracker(p.k, tol=0.0, tracer=op.engine.tracer)
+    run = IteratedSpMVRun(partition=p, x_parts=parts, iterations=done,
+                          restored_from=restored)
+    x = p.join_vector(parts)
+    x_two_ago: np.ndarray | None = None
+    pending_aux = 0
+    try:
+        while done < iterations:
+            x_new = op.matvec(x, workset=workset)
+            record = tracker.observe(
+                p.split_vector(x), p.split_vector(x_new),
+                tasks_scheduled=op.last_sweep["tasks"],
+                aux_tasks=pending_aux)
+            pending_aux = 0
+            for v in record.reentered:
+                workset.thaw(v)
+            done += 1
+            if (np.array_equal(x_new, x)
+                    or (x_two_ago is not None
+                        and np.array_equal(x_new, x_two_ago))):
+                # x(done) repeats x(done-1) or x(done-2): every later
+                # iterate is determined.  Period-1 keeps x_new; a
+                # period-2 cycle alternates x_new / x, so pick the phase
+                # whose parity matches the requested sweep count T.
+                period2 = not np.array_equal(x_new, x)
+                if not (period2 and (iterations - done) % 2):
+                    x = x_new  # else x(T) == x(done-1) == current x
+                run.fixpoint = True
+                break
+            new_parts = p.split_vector(x_new)
+            for v in record.newly_frozen:
+                for phase in tracker.phases(v) or (new_parts[v],):
+                    pending_aux += workset.freeze(v, phase)
+            x_two_ago = x
+            x = x_new
+            if mgr is not None and done % chunk == 0:
+                mgr.save(done, {f"x{u}": arr for u, arr in
+                                sorted(p.split_vector(x).items())},
+                         {"iterations": done, "policy": policy})
+                last_saved = done
+    finally:
+        op.engine.cleanup()
+    run.x_parts = p.split_vector(x)
+    run.iterations = iterations if run.fixpoint else done
+    run.convergence = tracker.report
+    run.sweep_log = list(op.sweep_log)
+    if mgr is not None:
+        if last_saved != run.iterations:
+            mgr.save(run.iterations,
+                     {f"x{u}": arr for u, arr in sorted(run.x_parts.items())},
+                     {"iterations": run.iterations, "policy": policy})
         run.checkpoint_writes = mgr.writes
     return run

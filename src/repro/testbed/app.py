@@ -38,6 +38,7 @@ from repro.models.testbed import (
     CODEC_MODELS,
     CodecBandwidthModel,
     TestbedWorkload,
+    WorksetModel,
 )
 from repro.sim.kernel import Environment
 from repro.sim.primitives import Barrier, Resource
@@ -121,6 +122,10 @@ class TestbedRow:
     #: physical bytes moved through the filesystem for sub-matrix reads
     #: (== logical bytes / codec ratio; raw runs read logical bytes)
     disk_bytes_read: float = 0.0
+    #: sub-matrix reads+multiplies elided by workset dropout
+    blocks_skipped: int = 0
+    #: sweeps actually simulated (< iterations when the workset emptied)
+    iterations_run: int = 0
 
 
 class _Counter:
@@ -158,6 +163,7 @@ def run_testbed_spmv(
     checkpoint_every: int | None = None,
     detection_s: float = 1.2,
     codec: CodecBandwidthModel | str | None = None,
+    workset: WorksetModel | None = None,
 ) -> TestbedRow:
     """Simulate one testbed run and return its table row.
 
@@ -197,6 +203,14 @@ def run_testbed_spmv(
     (``blocks_reconstructed`` counts those files).  ``checkpoint_every``
     adds an iteration-boundary checkpoint of each node's iterate parts,
     the cost model for the solvers' checkpoint/restart path.
+
+    ``workset`` applies the incremental-iteration dropout model
+    (:class:`~repro.models.testbed.WorksetModel`): a frozen grid column's
+    sub-matrix files are neither read nor multiplied — mirroring the
+    engine's product cache — while reductions and vector traffic are
+    unchanged (cached intermediates still feed the sums).  The run
+    truncates at the model's fixpoint sweep; the row reports
+    ``blocks_skipped`` and ``iterations_run``.
     """
     if policy not in ("simple", "interleaved"):
         raise ValueError(f"unknown policy {policy!r}")
@@ -226,6 +240,25 @@ def run_testbed_spmv(
     iterations = workload.iterations
     cores = spec.node.cores
 
+    # Workset dropout: per-iteration active local grid columns.  A frozen
+    # column's sub-matrices (k with k % local_side in the frozen set) are
+    # neither read nor multiplied; the run stops at the model's fixpoint.
+    if workset is not None:
+        schedule = [workset.active_columns(it, local_side)
+                    for it in range(iterations)]
+        eff_iterations = next(
+            (i for i, cols in enumerate(schedule) if not cols), iterations)
+        schedule = schedule[:eff_iterations]
+    else:
+        schedule = [list(range(local_side)) for _ in range(iterations)]
+        eff_iterations = iterations
+    active_ks_by_it = [
+        [k for k in range(subs_per_node) if (k % local_side) in set(cols)]
+        for cols in schedule
+    ]
+    if eff_iterations < 1:
+        raise ValueError("workset model freezes everything before sweep 0")
+
     barrier = Barrier(env, nodes)
     jitter_rng = rng.child("node-iter-jitter")
     cv = params.jitter_cv(nodes)
@@ -254,7 +287,7 @@ def run_testbed_spmv(
         # one locally-aggregated partial per sub-row per node (owner included)
         "interleaved": local_side * side,
     }[policy]
-    for it in range(iterations):
+    for it in range(eff_iterations):
         for owner in range(0, nodes, side):
             reduce_counters[(it, owner)] = _Counter(env, inputs_per_owner)
 
@@ -286,7 +319,8 @@ def run_testbed_spmv(
     retry = io_retry if io_retry is not None else RetryPolicy()
     fault_counts = {"io_retries": 0, "faults_injected": 0,
                     "task_reexecutions": 0, "nodes_lost": 0,
-                    "blocks_reconstructed": 0, "checkpoint_writes": 0}
+                    "blocks_reconstructed": 0, "checkpoint_writes": 0,
+                    "blocks_skipped": 0}
     read_seq = [0] * nodes  # per-node read sequence number = decision site
 
     # Node-loss mirror: logical role -> physical executor.  A takeover
@@ -308,19 +342,28 @@ def run_testbed_spmv(
                 node=node)
         return b
 
-    def takeover(node: int):
-        """Detection delay + reconstruction re-read, then re-point."""
+    def takeover(node: int, it: int):
+        """Detection delay + reconstruction re-read, then re-point.
+
+        Only the dead node's *remaining working set* is re-read: a grid
+        column the workset model froze before the kill will never be
+        multiplied again, so its sub-matrix files are not reconstructed
+        — converged (dropped) work is never redone.  Dropout is
+        monotone in the model, so the columns active at the kill sweep
+        are exactly the union still needed by every later sweep."""
         buddy = buddy_of(node)
         fault_counts["nodes_lost"] += 1
         yield env.timeout(detection_s)
-        for _ in range(subs_per_node):
+        needed = len(active_ks_by_it[it]) if it < eff_iterations \
+            else subs_per_node
+        for _ in range(needed):
             yield from read_submatrix(buddy, sub_bytes, "reconstruct")
-        fault_counts["blocks_reconstructed"] += subs_per_node
+        fault_counts["blocks_reconstructed"] += needed
         acting[node] = buddy
 
     def maybe_die(node: int, it: int):
         if kill_at.get(node) == it and acting[node] == node:
-            yield from takeover(node)
+            yield from takeover(node, it)
 
     def maybe_checkpoint(node: int, it: int):
         """Iteration-boundary checkpoint of this role's iterate parts.
@@ -369,12 +412,14 @@ def run_testbed_spmv(
         yield env.all_of(events)
 
     def node_simple(node: int):
-        for it in range(iterations):
+        for it in range(eff_iterations):
             yield from maybe_die(node, it)
             act = acting[node]
             factor = phase_factor()
+            active_subs = len(active_ks_by_it[it])
+            fault_counts["blocks_skipped"] += subs_per_node - active_subs
             # Phase 1: local SpMVs, load then multiply (no interleaving).
-            for _ in range(subs_per_node):
+            for _ in range(active_subs):
                 yield from fs_read(act, sub_bytes * factor, "sub")
                 yield env.process(cluster.compute(
                     act, mult_flops, cores=cores, label="mult"))
@@ -404,27 +449,30 @@ def run_testbed_spmv(
     def node_interleaved(node: int):
         owner = owner_of(node)
         prefetched = 0  # sub-matrices of the upcoming iteration already read
-        for it in range(iterations):
+        for it in range(eff_iterations):
             was_acting = acting[node]
             yield from maybe_die(node, it)
             act = acting[node]
             if act != was_acting:
                 prefetched = 0  # prefetched buffers died with the node
             factor = phase_factor()
+            active_ks = active_ks_by_it[it]
+            row_target = len(schedule[it])  # active columns per sub-row
+            fault_counts["blocks_skipped"] += subs_per_node - len(active_ks)
             slots = Resource(env, capacity=params.window)
             counter = reduce_counters[(it, owner)]
-            row_done = [_Counter(env, local_side) for _ in range(local_side)]
-            work_done = _Counter(env, subs_per_node)
+            row_done = [_Counter(env, row_target) for _ in range(local_side)]
+            work_done = _Counter(env, len(active_ks))
 
             def mult_then_rowsum(req, k, factor=factor, counter=counter,
                                  row_done=row_done, work_done=work_done,
-                                 act=act):
+                                 act=act, row_target=row_target):
                 yield env.process(cluster.compute(
                     act, mult_flops, cores=cores, label="mult"))
                 slots.release(req)
                 u_loc = k // local_side
                 row_done[u_loc].add()
-                if row_done[u_loc].count == local_side:
+                if row_done[u_loc].count == row_target:
                     # Local aggregation: one partial sub-vector per row.
                     psum_flops = (vec_bytes / 8.0) * (local_side - 1)
                     yield env.process(cluster.compute(
@@ -435,12 +483,13 @@ def run_testbed_spmv(
                     counter.add()
                 work_done.add()
 
-            def load_pipeline(skip: int, factor=factor, act=act):
+            def load_pipeline(skip: int, factor=factor, act=act,
+                              active_ks=active_ks):
                 # Prefetched sub-matrices are already in DRAM: their mults
                 # run straight away.
-                for k in range(subs_per_node):
+                for j, k in enumerate(active_ks):
                     req = yield slots.request()
-                    if k >= skip:
+                    if j >= skip:
                         yield from fs_read(act, sub_bytes * factor, "sub")
                     env.process(mult_then_rowsum(req, k))
 
@@ -464,12 +513,14 @@ def run_testbed_spmv(
             # synchronization — the multiplies still wait for the reduced
             # vectors behind the barrier.
             prefetched = 0
-            if it + 1 < iterations:
+            if it + 1 < eff_iterations:
                 next_factor = phase_factor()
+                next_active = len(active_ks_by_it[it + 1])
 
-                def prefetch_next(nf=next_factor, act=act):
+                def prefetch_next(nf=next_factor, act=act,
+                                  next_active=next_active):
                     got = 0
-                    for _ in range(min(params.window, subs_per_node)):
+                    for _ in range(min(params.window, next_active)):
                         yield from fs_read(act, sub_bytes * nf, "prefetch")
                         got += 1
                     return got
@@ -486,7 +537,8 @@ def run_testbed_spmv(
     env.run(env.all_of(procs))
 
     total_time = env.now
-    total_bytes = nodes * subs_per_node * sub_bytes * iterations
+    reads_scheduled = nodes * sum(len(ks) for ks in active_ks_by_it)
+    total_bytes = reads_scheduled * sub_bytes
     # The paper extracts I/O time from per-node application logs: use the
     # mean per-node filesystem-busy time, not the cross-node union (a node
     # waiting at a barrier is NOT reading, even if some straggler is).
@@ -496,7 +548,9 @@ def run_testbed_spmv(
     ]))
     dimension = workload.rows_per_node * side * over_side
     nnz = workload.nnz_per_node * nodes * oversubscribe
-    flops = 2.0 * nnz * iterations
+    # Multiply flops actually performed (identical to 2 * nnz * iterations
+    # when nothing is skipped and no sweep is truncated).
+    flops = mult_flops * reads_scheduled
     row = TestbedRow(
         nodes=nodes,
         policy=policy,
@@ -508,7 +562,7 @@ def run_testbed_spmv(
         read_bw_bytes_per_s=total_bytes / io_busy_mean if io_busy_mean else 0.0,
         non_overlapped_fraction=max(0.0, 1.0 - io_busy_mean / total_time),
         cpu_hours_per_iteration=(
-            nodes * spec.node.cores * (total_time / iterations) / 3600.0),
+            nodes * spec.node.cores * (total_time / eff_iterations) / 3600.0),
         io_retries=fault_counts["io_retries"],
         faults_injected=fault_counts["faults_injected"],
         task_reexecutions=fault_counts["task_reexecutions"],
@@ -517,6 +571,8 @@ def run_testbed_spmv(
         checkpoint_writes=fault_counts["checkpoint_writes"],
         codec=model.name,
         disk_bytes_read=io_totals["disk_bytes_read"],
+        blocks_skipped=fault_counts["blocks_skipped"],
+        iterations_run=eff_iterations,
     )
     if trace_sink is not None:
         trace_sink.append(trace)
